@@ -1,0 +1,126 @@
+// Command apusim executes APU-SynFull workloads on the paper's CPU+GPU chip
+// model under a chosen arbitration policy and reports program execution times
+// and NoC statistics.
+//
+//	apusim -model bfs -policy rl-inspired
+//	apusim -mix 2L2H -policy global-age -opscale 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"mlnoc/internal/apu"
+	"mlnoc/internal/arb"
+	"mlnoc/internal/core"
+	"mlnoc/internal/nn"
+	"mlnoc/internal/noc"
+	"mlnoc/internal/synfull"
+)
+
+func main() {
+	model := flag.String("model", "bfs", "workload model (run four copies, one per quadrant)")
+	mix := flag.String("mix", "", `mixed workload spec like "2L2H" (overrides -model)`)
+	policy := flag.String("policy", "rl-inspired",
+		"policy: random, round-robin, islip, fifo, probdist, global-age, rl-inspired, rl-inspired-we, rl-inspired-no-port, rl-inspired-no-msgtype")
+	opscale := flag.Float64("opscale", 0.25, "workload length multiplier")
+	quadSide := flag.Int("quadside", 4, "quadrant side in tiles (chip is 2x2 quadrants)")
+	bufcap := flag.Int("bufcap", 0, "router buffer capacity per VC (0 = default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	nnPath := flag.String("nn", "", "run a saved APU agent network (gob) as the policy")
+	flag.Parse()
+
+	var models [4]*synfull.Model
+	if *mix != "" {
+		var low, high int
+		if _, err := fmt.Sscanf(*mix, "%dL%dH", &low, &high); err != nil {
+			fmt.Fprintf(os.Stderr, "bad -mix %q: %v\n", *mix, err)
+			os.Exit(2)
+		}
+		ms, err := synfull.Mix(low, high)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		copy(models[:], ms)
+	} else {
+		m, err := synfull.ByName(*model)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		models = apu.Homogeneous(m)
+	}
+
+	var p noc.Policy
+	var err error
+	if *nnPath != "" {
+		p, err = loadAgent(*nnPath, *seed)
+	} else {
+		p, err = makePolicy(*policy, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	res := apu.RunWorkload(apu.Config{QuadSide: *quadSide, BufferCap: *bufcap}, p, models,
+		apu.RunnerConfig{OpScale: *opscale, Seed: *seed})
+	if !res.Finished {
+		fmt.Fprintf(os.Stderr, "workload did not finish within the cycle budget\n")
+		os.Exit(1)
+	}
+	fmt.Printf("policy=%s models=[%s %s %s %s]\n", p.Name(),
+		models[0].Name, models[1].Name, models[2].Name, models[3].Name)
+	fmt.Printf("  completion per quadrant: %v\n", res.Completion)
+	fmt.Printf("  avg execution time:  %.0f cycles\n", res.Avg)
+	fmt.Printf("  tail execution time: %.0f cycles\n", res.Tail)
+	fmt.Printf("  avg NoC message latency: %.2f cycles\n", res.AvgLatency)
+}
+
+func makePolicy(name string, seed int64) (noc.Policy, error) {
+	switch name {
+	case "random":
+		return arb.NewRandom(rand.New(rand.NewSource(seed))), nil
+	case "round-robin", "rr":
+		return arb.NewRoundRobin(), nil
+	case "islip":
+		return arb.NewISLIP(2), nil
+	case "fifo":
+		return arb.NewFIFO(), nil
+	case "probdist":
+		return arb.NewProbDist(rand.New(rand.NewSource(seed))), nil
+	case "global-age":
+		return arb.NewGlobalAge(), nil
+	case "rl-inspired":
+		return core.NewRLInspiredAPU(), nil
+	case "rl-inspired-we":
+		return core.NewRLInspiredAPUPaper(), nil
+	case "rl-inspired-no-port":
+		return &core.RLInspiredAPU{InvertNorthSouth: true, DefeaturePort: true}, nil
+	case "rl-inspired-no-msgtype":
+		return &core.RLInspiredAPU{InvertNorthSouth: true, DefeatureMsgType: true}, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q", name)
+}
+
+// loadAgent wraps a saved APU-spec network as an evaluation-only policy.
+func loadAgent(path string, seed int64) (noc.Policy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	net, err := nn.Load(f)
+	if err != nil {
+		return nil, err
+	}
+	spec := core.APUSpec()
+	if net.InputSize() != spec.InputSize() {
+		return nil, fmt.Errorf("network input %d does not match the APU spec (%d)",
+			net.InputSize(), spec.InputSize())
+	}
+	return core.NewAgentWithNet(spec, net, seed), nil
+}

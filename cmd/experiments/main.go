@@ -1,0 +1,205 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-scale quick|full] [-seed N] [-no-nn] <experiment>
+//
+// where <experiment> is one of: fig4, fig5, fig7, fig9, fig10, fig11, fig12,
+// fig13, table1, table2, table3, ablation, starvation, hillclimb, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mlnoc/internal/core"
+	"mlnoc/internal/experiments"
+	"mlnoc/internal/synfull"
+	"mlnoc/internal/viz"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "experiment scale: quick or full")
+	seed := flag.Int64("seed", 1, "random seed")
+	noNN := flag.Bool("no-nn", false, "skip NN training in APU sweeps (faster)")
+	csvDir := flag.String("csv", "", "also write results as CSV files into this directory")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick()
+	case "full":
+		sc = experiments.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	sc.Seed = *seed
+	withNN := !*noNN
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	what := strings.ToLower(flag.Arg(0))
+	run(what, sc, withNN, *csvDir)
+}
+
+// writeCSV writes one CSV artifact, reporting the path.
+func writeCSV(dir, name, content string) {
+	if dir == "" {
+		return
+	}
+	path := dir + string(os.PathSeparator) + name
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("(csv written to %s)\n", path)
+}
+
+func run(what string, sc experiments.Scale, withNN bool, csvDir string) {
+	switch what {
+	case "fig4":
+		r := experiments.MeshStudy(4, sc)
+		fmt.Print(r.RenderHeatmap())
+		writeCSV(csvDir, "fig4_heatmap.csv", r.HeatmapCSV())
+	case "fig5":
+		for _, size := range []int{4, 8} {
+			r := experiments.MeshStudy(size, sc)
+			fmt.Print(r.Render())
+			fmt.Println()
+			writeCSV(csvDir, fmt.Sprintf("fig5_%dx%d.csv", size, size), r.CSV())
+		}
+	case "fig7":
+		h := experiments.APUHeatmap(sc)
+		fmt.Print(experiments.RenderAPUHeatmap(h))
+		writeCSV(csvDir, "fig7_heatmap.csv", viz.HeatmapCSV(h.RowLabels, h.ColLabels, h.Abs))
+	case "fig9":
+		r := experiments.ExecSweep(sc, withNN)
+		fmt.Print(r.RenderAvg())
+		writeCSV(csvDir, "fig9_avg.csv", r.CSVAvg())
+	case "fig10":
+		r := experiments.ExecSweep(sc, withNN)
+		fmt.Print(r.RenderTail())
+		writeCSV(csvDir, "fig10_tail.csv", r.CSVTail())
+	case "fig9+10", "exec":
+		r := experiments.ExecSweep(sc, withNN)
+		fmt.Print(r.RenderAvg())
+		fmt.Println()
+		fmt.Print(r.RenderTail())
+		writeCSV(csvDir, "fig9_avg.csv", r.CSVAvg())
+		writeCSV(csvDir, "fig10_tail.csv", r.CSVTail())
+	case "fig11":
+		r := experiments.MixedWorkloads(sc, withNN)
+		fmt.Print(r.Render())
+		writeCSV(csvDir, "fig11_mixes.csv", r.CSV())
+	case "fig12":
+		r := experiments.RewardCurves(sc)
+		fmt.Print(r.Render())
+		writeCSV(csvDir, "fig12_rewards.csv", r.CSV())
+	case "fig13":
+		r := experiments.FeatureCurves(sc)
+		fmt.Print(r.Render())
+		writeCSV(csvDir, "fig13_features.csv", r.CSV())
+	case "table1":
+		fmt.Print(renderTable1())
+	case "table2":
+		fmt.Print(renderTable2())
+	case "table3":
+		r := experiments.Table3()
+		fmt.Print(r.Render())
+		writeCSV(csvDir, "table3.csv", r.CSV())
+	case "ablation":
+		r := experiments.Ablation(sc)
+		fmt.Print(r.Render())
+		writeCSV(csvDir, "ablation.csv", r.CSV())
+	case "starvation":
+		r := experiments.Starvation(sc)
+		fmt.Print(r.Render())
+		writeCSV(csvDir, "starvation.csv", r.CSV())
+	case "fairness":
+		r := experiments.Fairness(sc)
+		fmt.Print(r.Render())
+		writeCSV(csvDir, "fairness.csv", r.CSV())
+	case "qtable":
+		fmt.Print(experiments.QTableStudy(sc).Render())
+	case "bufablation":
+		fmt.Print(experiments.BufferAblation(sc).Render())
+	case "tiebreak":
+		fmt.Print(experiments.TieBreakAblation(sc).Render())
+	case "derive":
+		fmt.Print(experiments.DeriveReport(sc))
+	case "flitcheck":
+		r := experiments.FlitCheck(sc)
+		fmt.Print(r.Render())
+		writeCSV(csvDir, "flitcheck.csv", r.CSV())
+	case "hillclimb":
+		fmt.Print(experiments.HillClimbReport(sc))
+	case "all":
+		for _, w := range []string{
+			"table1", "table2", "table3", "fig4", "fig5", "fig7",
+			"fig9+10", "fig11", "fig12", "fig13", "ablation", "starvation",
+			"fairness", "qtable", "flitcheck", "bufablation", "tiebreak", "derive",
+			"hillclimb",
+		} {
+			fmt.Printf("==== %s ====\n", w)
+			run(w, sc, withNN, csvDir)
+			fmt.Println()
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", what)
+		usage()
+		os.Exit(2)
+	}
+}
+
+func renderTable1() string {
+	var b strings.Builder
+	b.WriteString("Table 1: traffic-intensive workloads\n")
+	var rows [][]string
+	for _, m := range synfull.Catalog() {
+		cls := "low-injection"
+		if m.HighInjection {
+			cls = "high-injection"
+		}
+		rows = append(rows, []string{m.Suite, m.Name, cls,
+			fmt.Sprintf("%d phases", len(m.Phases))})
+	}
+	b.WriteString(viz.Table([]string{"suite", "application", "class", "model"}, rows))
+	return b.String()
+}
+
+func renderTable2() string {
+	var b strings.Builder
+	b.WriteString("Table 2: message features\n")
+	var rows [][]string
+	for f := core.Feature(0); f < core.NumFeatures; f++ {
+		rows = append(rows, []string{f.String(), fmt.Sprintf("%d", f.Width())})
+	}
+	b.WriteString(viz.Table([]string{"feature", "state elements"}, rows))
+	fmt.Fprintf(&b, "total elements per message: %d\n", core.AllFeatures.Width())
+	return b.String()
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: experiments [flags] <experiment>
+
+experiments: fig4 fig5 fig7 fig9 fig10 fig11 fig12 fig13
+             table1 table2 table3 ablation starvation fairness
+             qtable flitcheck bufablation tiebreak derive hillclimb all
+flags:
+`)
+	flag.PrintDefaults()
+}

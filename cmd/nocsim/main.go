@@ -1,0 +1,132 @@
+// Command nocsim runs a synthetic-traffic mesh simulation with a chosen
+// arbitration policy and reports latency statistics. It is the quickest way
+// to explore the simulator:
+//
+//	nocsim -size 8 -rate 0.13 -policy global-age -cycles 20000
+//	nocsim -size 4 -policy rl-inspired -pattern hotspot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"mlnoc/internal/arb"
+	"mlnoc/internal/core"
+	"mlnoc/internal/nn"
+	"mlnoc/internal/noc"
+	"mlnoc/internal/traffic"
+)
+
+func main() {
+	size := flag.Int("size", 8, "mesh edge size (routers per side)")
+	rate := flag.Float64("rate", 0.13, "injection rate (messages/node/cycle)")
+	policy := flag.String("policy", "global-age",
+		"arbitration policy: random, round-robin, islip, fifo, probdist, global-age, rl-inspired")
+	pattern := flag.String("pattern", "uniform",
+		"traffic pattern: uniform, transpose, bitcomp, hotspot, tornado")
+	cycles := flag.Int64("cycles", 10000, "measured cycles")
+	warmup := flag.Int64("warmup", 2000, "warmup cycles (stats discarded)")
+	vcs := flag.Int("vcs", 3, "virtual channels per port")
+	bufcap := flag.Int("bufcap", 8, "buffer capacity per VC (messages)")
+	seed := flag.Int64("seed", 1, "random seed")
+	nnPath := flag.String("nn", "", "run a saved agent network (gob) as the policy")
+	flag.Parse()
+
+	net, cores := noc.BuildMeshCores(noc.Config{
+		Width: *size, Height: *size, VCs: *vcs, BufferCap: *bufcap,
+	})
+	var p noc.Policy
+	var err error
+	if *nnPath != "" {
+		p, err = loadAgent(*nnPath, *vcs, *seed)
+	} else {
+		p, err = makePolicy(*policy, *size, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	net.SetPolicy(p)
+	if agent, ok := p.(*core.Agent); ok {
+		net.OnCycle = agent.OnCycle
+	}
+
+	pat, err := makePattern(*pattern, *size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	in := traffic.NewInjector(cores, pat, *rate, rand.New(rand.NewSource(*seed+1)))
+	in.Classes = *vcs
+
+	res := traffic.Run(net, in, *warmup, *cycles)
+	st := net.Stats()
+	fmt.Printf("policy=%s pattern=%s size=%dx%d rate=%.3f\n",
+		p.Name(), pat.Name(), *size, *size, *rate)
+	fmt.Printf("  delivered %d msgs in %d cycles (%.3f msgs/node/cycle accepted)\n",
+		res.Delivered, res.Cycles, float64(res.Delivered)/float64(res.Cycles)/float64(len(cores)))
+	fmt.Printf("  latency: avg %.1f, max %.0f (generation to delivery)\n",
+		res.AvgLatency, res.MaxLatency)
+	fmt.Printf("  in-network latency: avg %.1f, avg hops %.2f\n",
+		st.NetLatency.Mean(), st.HopLatency.Mean())
+}
+
+func makePolicy(name string, size int, seed int64) (noc.Policy, error) {
+	switch name {
+	case "random":
+		return arb.NewRandom(rand.New(rand.NewSource(seed))), nil
+	case "round-robin", "rr":
+		return arb.NewRoundRobin(), nil
+	case "islip":
+		return arb.NewISLIP(2), nil
+	case "fifo":
+		return arb.NewFIFO(), nil
+	case "probdist":
+		return arb.NewProbDist(rand.New(rand.NewSource(seed))), nil
+	case "global-age":
+		return arb.NewGlobalAge(), nil
+	case "rl-inspired":
+		if size >= 8 {
+			return core.NewRLInspiredMesh8x8(), nil
+		}
+		return core.NewRLInspiredMesh4x4(), nil
+	}
+	return nil, fmt.Errorf("unknown policy %q", name)
+}
+
+func makePattern(name string, size int) (traffic.Pattern, error) {
+	switch name {
+	case "uniform":
+		return traffic.UniformRandom{}, nil
+	case "transpose":
+		return traffic.Transpose{}, nil
+	case "bitcomp":
+		return traffic.BitComplement{}, nil
+	case "hotspot":
+		return traffic.Hotspot{Spots: []int{size/2*size + size/2}, Fraction: 0.3}, nil
+	case "tornado":
+		return traffic.Tornado{Width: size}, nil
+	}
+	return nil, fmt.Errorf("unknown pattern %q", name)
+}
+
+// loadAgent wraps a saved network as an evaluation-only policy.
+func loadAgent(path string, vcs int, seed int64) (noc.Policy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	net, err := nn.Load(f)
+	if err != nil {
+		return nil, err
+	}
+	spec := core.MeshSpec(vcs)
+	if net.InputSize() != spec.InputSize() {
+		return nil, fmt.Errorf("network input %d does not match %d-VC mesh spec (%d)",
+			net.InputSize(), vcs, spec.InputSize())
+	}
+	return core.NewAgentWithNet(spec, net, seed), nil
+}

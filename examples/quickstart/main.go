@@ -1,0 +1,55 @@
+// Quickstart: build a 4x4 mesh NoC, drive it with uniform-random synthetic
+// traffic near saturation, and compare a FIFO arbiter against the paper's
+// RL-inspired arbiter and the impractical global-age reference — a miniature
+// of the paper's Fig. 5 experiment.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlnoc/internal/arb"
+	"mlnoc/internal/core"
+	"mlnoc/internal/noc"
+	"mlnoc/internal/traffic"
+)
+
+func main() {
+	const (
+		size   = 4
+		rate   = 0.23 // messages per node per cycle, near saturation
+		warmup = 2000
+		cycles = 15000
+	)
+
+	policies := []noc.Policy{
+		arb.NewFIFO(),
+		core.NewRLInspiredMesh4x4(),
+		arb.NewGlobalAge(),
+	}
+
+	fmt.Printf("4x4 mesh, uniform random traffic at %.2f msgs/node/cycle\n\n", rate)
+	var baseline float64
+	for _, p := range policies {
+		// A fresh network per policy, fed the same traffic seed, makes the
+		// comparison paired.
+		net, cores := noc.BuildMeshCores(noc.Config{
+			Width: size, Height: size, VCs: 3, BufferCap: 1,
+		})
+		net.SetPolicy(p)
+		in := traffic.NewInjector(cores, traffic.UniformRandom{}, rate,
+			rand.New(rand.NewSource(2)))
+		in.Classes = 3
+
+		res := traffic.Run(net, in, warmup, cycles)
+		if baseline == 0 {
+			baseline = res.AvgLatency
+		}
+		fmt.Printf("%-16s avg latency %7.2f cycles   max %6.0f   (%.2fx FIFO)\n",
+			p.Name(), res.AvgLatency, res.MaxLatency, res.AvgLatency/baseline)
+	}
+	fmt.Println("\nThe RL-inspired arbiter — two shifts and an add in hardware —")
+	fmt.Println("recovers most of the gap between FIFO and the impractical global-age policy.")
+}

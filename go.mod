@@ -1,0 +1,3 @@
+module mlnoc
+
+go 1.22

@@ -1,0 +1,459 @@
+package apu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mlnoc/internal/arb"
+	"mlnoc/internal/noc"
+	"mlnoc/internal/synfull"
+)
+
+func testSystem(t *testing.T, quadSide int) *System {
+	t.Helper()
+	sys := NewSystem(Config{QuadSide: quadSide}, 1)
+	sys.Net.SetPolicy(arb.NewGlobalAge())
+	return sys
+}
+
+func TestTopologyCounts(t *testing.T) {
+	sys := testSystem(t, 4) // the paper's 8x8 system
+	if len(sys.CUs) != 64 {
+		t.Fatalf("CUs = %d, want 64", len(sys.CUs))
+	}
+	if len(sys.L2s) != 32 {
+		t.Fatalf("L2 banks = %d, want 32", len(sys.L2s))
+	}
+	if len(sys.L1Is) != 16 {
+		t.Fatalf("L1I caches = %d, want 16", len(sys.L1Is))
+	}
+	if len(sys.Dirs) != 16 {
+		t.Fatalf("directories = %d, want 16", len(sys.Dirs))
+	}
+	if len(sys.CPUs) != 4 || len(sys.LLCs) != 4 {
+		t.Fatalf("CPU clusters = %d/%d, want 4/4", len(sys.CPUs), len(sys.LLCs))
+	}
+	if sys.Net.Config().VCs != NumClasses {
+		t.Fatalf("VCs = %d, want %d", sys.Net.Config().VCs, NumClasses)
+	}
+}
+
+func TestTopologyPlacement(t *testing.T) {
+	sys := testSystem(t, 4)
+	// Directories on the chip-edge columns (0 and 7), L1Is in the center
+	// (3 and 4) — Fig. 6b.
+	for _, d := range sys.Dirs {
+		x := d.Node.Router.Coord.X
+		if x != 0 && x != 7 {
+			t.Fatalf("directory at column %d", x)
+		}
+	}
+	for _, l := range sys.L1Is {
+		x := l.Node.Router.Coord.X
+		if x != 3 && x != 4 {
+			t.Fatalf("L1I at column %d", x)
+		}
+	}
+	// No router exceeds the paper's six ports (core, memory, N, S, W, E),
+	// and the CPU/LLC attach routers on the chip edge reach exactly six by
+	// using their free edge port.
+	for _, r := range sys.Net.Routers() {
+		if r.NumPorts() > 6 {
+			t.Fatalf("router %v has %d ports", r, r.NumPorts())
+		}
+	}
+	for _, cpu := range sys.CPUs {
+		if got := cpu.Node.Router.NumPorts(); got != 6 {
+			t.Fatalf("CPU attach router has %d ports, want 6", got)
+		}
+		if !cpu.Node.Port.IsDirection() {
+			t.Fatalf("CPU attached on %v, want a free direction port", cpu.Node.Port)
+		}
+	}
+}
+
+func TestQuadrantPrivateL2(t *testing.T) {
+	sys := testSystem(t, 4)
+	for q, quad := range sys.Quadrants {
+		if len(quad.CUs) != 16 || len(quad.L2s) != 8 || len(quad.L1Is) != 4 || len(quad.Dirs) != 4 {
+			t.Fatalf("quadrant %d composition: %d CUs %d L2 %d L1I %d Dir",
+				q, len(quad.CUs), len(quad.L2s), len(quad.L1Is), len(quad.Dirs))
+		}
+		if quad.CPU == nil || quad.LLC == nil {
+			t.Fatalf("quadrant %d missing CPU cluster", q)
+		}
+		// Quadrant endpoints live inside the quadrant's tile range.
+		for _, cu := range quad.CUs {
+			if quadrantOf(cu.Node.Router.Coord.X, cu.Node.Router.Coord.Y, 4) != q {
+				t.Fatalf("CU of quadrant %d at %v", q, cu.Node.Router.Coord)
+			}
+		}
+	}
+}
+
+func TestL1ISharing(t *testing.T) {
+	sys := testSystem(t, 4)
+	for _, quad := range sys.Quadrants {
+		perL1I := map[*Bank]int{}
+		for _, cu := range quad.CUs {
+			if cu.l1i == nil {
+				t.Fatal("CU without L1I")
+			}
+			perL1I[cu.l1i]++
+		}
+		// 16 CUs share 4 L1Is: exactly 4 each (Section 4.1: "shared by
+		// every four CUs").
+		for b, n := range perL1I {
+			if n != 4 {
+				t.Fatalf("L1I %v shared by %d CUs, want 4", b.Node, n)
+			}
+		}
+	}
+}
+
+func TestMinQuadSide(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("QuadSide 2 accepted (quadrants would have no L2)")
+		}
+	}()
+	NewSystem(Config{QuadSide: 2}, 1)
+}
+
+func TestWorkloadCompletes(t *testing.T) {
+	sys := testSystem(t, 3)
+	model, err := synfull.ByName("dct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(sys, Homogeneous(model), RunnerConfig{
+		OpScale: 0.05, Seed: 2, MaxCycles: 300000,
+	})
+	if !r.Run() {
+		t.Fatalf("workload did not complete; completions %v", r.Completion)
+	}
+	if avg, tail := r.AvgExecTime(), r.TailExecTime(); avg <= 0 || tail < avg {
+		t.Fatalf("exec times avg=%v tail=%v", avg, tail)
+	}
+	for _, cu := range sys.CUs {
+		if cu.OpsRemaining != 0 || cu.Outstanding != 0 {
+			t.Fatalf("completed CU has remaining work: %d ops, %d outstanding",
+				cu.OpsRemaining, cu.Outstanding)
+		}
+		if cu.Issued == 0 {
+			t.Fatal("CU retired no operations")
+		}
+	}
+	for _, cpu := range sys.CPUs {
+		if !cpu.Done() {
+			t.Fatal("CPU not done after Run")
+		}
+	}
+}
+
+// TestWorkloadPolicyInvariantOps: the number of operations each CU retires is
+// identical under different arbitration policies — the property that makes
+// policy comparisons paired.
+func TestWorkloadPolicyInvariantOps(t *testing.T) {
+	run := func(policy noc.Policy) []int64 {
+		sys := NewSystem(Config{QuadSide: 3}, 1)
+		sys.Net.SetPolicy(policy)
+		model, _ := synfull.ByName("bfs")
+		r := NewRunner(sys, Homogeneous(model), RunnerConfig{
+			OpScale: 0.05, Seed: 7, MaxCycles: 300000,
+		})
+		if !r.Run() {
+			t.Fatal("did not finish")
+		}
+		var out []int64
+		for _, cu := range sys.CUs {
+			out = append(out, cu.Issued)
+		}
+		return out
+	}
+	a := run(arb.NewGlobalAge())
+	b := run(arb.NewRoundRobin())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("CU %d issued %d ops under GA but %d under RR", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunWorkloadDeterministic(t *testing.T) {
+	model, _ := synfull.ByName("hotspot")
+	cfg := Config{QuadSide: 3}
+	rc := RunnerConfig{OpScale: 0.05, Seed: 3, MaxCycles: 300000}
+	a := RunWorkload(cfg, arb.NewFIFO(), Homogeneous(model), rc)
+	b := RunWorkload(cfg, arb.NewFIFO(), Homogeneous(model), rc)
+	if !a.Finished || !b.Finished {
+		t.Fatal("runs did not finish")
+	}
+	if a.Avg != b.Avg || a.Tail != b.Tail || a.Completion != b.Completion {
+		t.Fatalf("same-seed runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestIdleQuadrantStops(t *testing.T) {
+	sys := testSystem(t, 3)
+	model, _ := synfull.ByName("matrixmul")
+	r := NewRunner(sys, Homogeneous(model), RunnerConfig{
+		OpScale: 0.03, Seed: 4, MaxCycles: 300000,
+	})
+	if !r.Run() {
+		t.Fatal("did not finish")
+	}
+	// After completion plus drain, the whole system must be quiescent: an
+	// idle quadrant generates no further traffic (Section 4.2).
+	if !sys.Net.Quiescent() {
+		t.Fatal("network still active after all quadrants completed")
+	}
+	for _, b := range sys.AllBanks() {
+		if b.QueueLen() != 0 {
+			t.Fatalf("%s bank still has %d queued replies", b.Label, b.QueueLen())
+		}
+	}
+}
+
+func TestBankBandwidthBound(t *testing.T) {
+	sys := NewSystem(Config{QuadSide: 3, DirPerCycle: 1, L2PerCycle: 2}, 1)
+	sys.Net.SetPolicy(arb.NewGlobalAge())
+	dir := sys.Dirs[0]
+	// Enqueue 5 replies all ready now.
+	for i := 0; i < 5; i++ {
+		dir.reply(0, sys.CUs[0].Node.ID, ClassMemResp, noc.TypeResponse, 1,
+			pkt{kind: opMemData, requester: sys.CUs[0].Node.ID, via: sys.L2s[0].Node.ID})
+	}
+	dir.Tick(1000) // well past the service latency: all five are ready
+	if got := dir.QueueLen(); got != 4 {
+		t.Fatalf("dir served %d replies in one cycle, want 1 (DirPerCycle)", 5-got)
+	}
+}
+
+func TestProtocolFlows(t *testing.T) {
+	sys := testSystem(t, 3)
+	// Force deterministic protocol paths via pre-drawn packet fields.
+	cu := sys.CUs[0]
+	l2 := cu.quad.L2s[0]
+	dir := sys.Dirs[0]
+
+	// L2 hit: CU -> L2 -> CU data.
+	sys.send(cu.Node, l2.Node.ID, ClassGPUReq, noc.TypeRequest, ReqFlits,
+		pkt{kind: opGPURead, requester: cu.Node.ID, hit: true})
+	cu.Outstanding = 1
+	for i := 0; i < 200 && cu.Outstanding > 0; i++ {
+		for _, b := range sys.AllBanks() {
+			b.Tick(sys.Net.Cycle())
+		}
+		sys.Net.Step()
+	}
+	if cu.Outstanding != 0 {
+		t.Fatal("L2 hit flow did not return data to the CU")
+	}
+
+	// L2 miss: CU -> L2 -> Dir -> L2 -> CU data.
+	sys.send(cu.Node, l2.Node.ID, ClassGPUReq, noc.TypeRequest, ReqFlits,
+		pkt{kind: opGPURead, requester: cu.Node.ID, hit: false, dir: dir.Node.ID})
+	cu.Outstanding = 1
+	for i := 0; i < 500 && cu.Outstanding > 0; i++ {
+		for _, b := range sys.AllBanks() {
+			b.Tick(sys.Net.Cycle())
+		}
+		sys.Net.Step()
+	}
+	if cu.Outstanding != 0 {
+		t.Fatal("L2 miss flow did not return data to the CU")
+	}
+
+	// Write: CU -> L2 (ack to CU) and write-through L2 -> Dir.
+	before := dir.Handled
+	sys.send(cu.Node, l2.Node.ID, ClassGPUReq, noc.TypeRequest, DataFlits,
+		pkt{kind: opGPUWrite, requester: cu.Node.ID, dir: dir.Node.ID})
+	cu.Outstanding = 1
+	for i := 0; i < 500 && (cu.Outstanding > 0 || dir.Handled == before); i++ {
+		for _, b := range sys.AllBanks() {
+			b.Tick(sys.Net.Cycle())
+		}
+		sys.Net.Step()
+	}
+	if cu.Outstanding != 0 {
+		t.Fatal("write ack did not release the window slot")
+	}
+	if dir.Handled == before {
+		t.Fatal("write-through never reached the directory")
+	}
+
+	// Coherence: Dir probe -> CU ack -> Dir.
+	before = dir.Handled
+	sys.send(dir.Node, cu.Node.ID, ClassCoh, noc.TypeCoherence, ReqFlits,
+		pkt{kind: opCohProbe, requester: dir.Node.ID})
+	for i := 0; i < 500 && dir.Handled == before; i++ {
+		for _, b := range sys.AllBanks() {
+			b.Tick(sys.Net.Cycle())
+		}
+		sys.Net.Step()
+	}
+	if dir.Handled == before {
+		t.Fatal("coherence ack never reached the directory")
+	}
+
+	// CPU read, LLC miss: CPU -> LLC -> Dir -> LLC -> CPU.
+	cpu := sys.Quadrants[0].CPU
+	sys.send(cpu.Node, cpu.quad.LLC.Node.ID, ClassCPUReq, noc.TypeRequest, ReqFlits,
+		pkt{kind: opCPURead, requester: cpu.Node.ID, hit: false, dir: dir.Node.ID})
+	cpu.Outstanding = 1
+	for i := 0; i < 500 && cpu.Outstanding > 0; i++ {
+		for _, b := range sys.AllBanks() {
+			b.Tick(sys.Net.Cycle())
+		}
+		sys.Net.Step()
+	}
+	if cpu.Outstanding != 0 {
+		t.Fatal("CPU LLC-miss flow did not return data")
+	}
+}
+
+func TestMessageClassesDisjoint(t *testing.T) {
+	// Run a short workload and assert every message's class matches its
+	// protocol role.
+	sys := NewSystem(Config{QuadSide: 3}, 5)
+	sys.Net.SetPolicy(classCheckPolicy{t: t, inner: arb.NewGlobalAge()})
+	model, _ := synfull.ByName("bfs")
+	r := NewRunner(sys, Homogeneous(model), RunnerConfig{
+		OpScale: 0.02, Seed: 5, MaxCycles: 200000,
+	})
+	r.Run()
+}
+
+// classCheckPolicy validates message class/type pairing on every contended
+// arbitration.
+type classCheckPolicy struct {
+	t     *testing.T
+	inner noc.Policy
+}
+
+func (p classCheckPolicy) Name() string { return "class-check" }
+
+func (p classCheckPolicy) Select(ctx *noc.ArbContext, cands []noc.Candidate) int {
+	for _, c := range cands {
+		m := c.Msg
+		ok := true
+		switch m.Class {
+		case ClassGPUReq, ClassMemReq, ClassCPUReq:
+			ok = m.Type == noc.TypeRequest
+		case ClassGPUResp, ClassMemResp, ClassCPUResp:
+			ok = m.Type == noc.TypeResponse
+		case ClassCoh:
+			ok = m.Type == noc.TypeCoherence
+		}
+		if !ok {
+			p.t.Errorf("class %d carries %v message", m.Class, m.Type)
+		}
+	}
+	return p.inner.Select(ctx, cands)
+}
+
+func TestQuickQuadrantOf(t *testing.T) {
+	f := func(x8, y8, s8 uint8) bool {
+		s := int(s8)%6 + 3
+		x, y := int(x8)%(2*s), int(y8)%(2*s)
+		q := quadrantOf(x, y, s)
+		wantRight := x >= s
+		wantBottom := y >= s
+		return (q%2 == 1) == wantRight && (q >= 2) == wantBottom
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndpointLookup(t *testing.T) {
+	sys := testSystem(t, 3)
+	if _, ok := sys.Endpoint(sys.CUs[0].Node.ID).(*CU); !ok {
+		t.Fatal("CU endpoint lookup failed")
+	}
+	if _, ok := sys.Endpoint(sys.Dirs[0].Node.ID).(*Bank); !ok {
+		t.Fatal("bank endpoint lookup failed")
+	}
+	if _, ok := sys.Endpoint(sys.CPUs[0].Node.ID).(*CPU); !ok {
+		t.Fatal("CPU endpoint lookup failed")
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	sys := testSystem(t, 4)
+	if sys.String() == "" {
+		t.Fatal("empty system string")
+	}
+}
+
+// TestProtocolConservation: every windowed request eventually releases its
+// window slot, and read/ack response counts match the requests issued — the
+// protocol-level conservation law behind completion detection.
+func TestProtocolConservation(t *testing.T) {
+	sys := NewSystem(Config{QuadSide: 3}, 6)
+	sys.Net.SetPolicy(arb.NewRoundRobin())
+	model, _ := synfull.ByName("spmv")
+	r := NewRunner(sys, Homogeneous(model), RunnerConfig{
+		OpScale: 0.05, Seed: 8, MaxCycles: 300000,
+	})
+	if !r.Run() {
+		t.Fatal("did not finish")
+	}
+	// Every bank queue drained and every window empty (checked per CU).
+	for _, cu := range sys.CUs {
+		if cu.Outstanding != 0 {
+			t.Fatalf("CU %v finished with %d outstanding requests", cu.Node, cu.Outstanding)
+		}
+	}
+	for _, cpu := range sys.CPUs {
+		if cpu.Outstanding != 0 {
+			t.Fatalf("CPU %v finished with %d outstanding requests", cpu.Node, cpu.Outstanding)
+		}
+	}
+	// All protocol traffic was consumed by a bank or endpoint: the NoC
+	// delivered exactly what was injected.
+	st := sys.Net.Stats()
+	if st.Injected != st.Delivered {
+		t.Fatalf("injected %d != delivered %d", st.Injected, st.Delivered)
+	}
+}
+
+// TestZeroCoherenceRate: a model phase with zero coherence rate must produce
+// no coherence-class traffic.
+func TestZeroCoherenceRate(t *testing.T) {
+	m := &synfull.Model{
+		Name: "silent", Suite: "test",
+		Phases: []synfull.Phase{{
+			MemRatio: 0.4, WriteRatio: 0.2, L1Hit: 0.5, L2Hit: 0.5,
+			CoherenceRate: 0, CPUMemRate: 0.02, LLCHit: 0.7,
+			Next: []float64{1},
+		}},
+		PhaseLen: 100, OpsPerCU: 50, OpsPerCPU: 10, IssueWidth: 1, Window: 8,
+	}
+	sys := NewSystem(Config{QuadSide: 3}, 7)
+	counter := &classCounter{inner: arb.NewGlobalAge()}
+	sys.Net.SetPolicy(counter)
+	r := NewRunner(sys, Homogeneous(m), RunnerConfig{Seed: 9, MaxCycles: 300000})
+	if !r.Run() {
+		t.Fatal("did not finish")
+	}
+	if counter.coh > 0 {
+		t.Fatalf("saw %d coherence messages with zero coherence rate", counter.coh)
+	}
+}
+
+type classCounter struct {
+	inner noc.Policy
+	coh   int
+}
+
+func (c *classCounter) Name() string { return "class-counter" }
+func (c *classCounter) Select(ctx *noc.ArbContext, cands []noc.Candidate) int {
+	for _, cd := range cands {
+		if cd.Msg.Class == ClassCoh {
+			c.coh++
+		}
+	}
+	return c.inner.Select(ctx, cands)
+}

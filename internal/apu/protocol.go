@@ -1,0 +1,411 @@
+package apu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlnoc/internal/noc"
+)
+
+// opKind tags the protocol operation a message carries.
+type opKind uint8
+
+const (
+	opGPURead  opKind = iota // CU -> L2 read request
+	opGPUWrite               // CU -> L2 write-through (data)
+	opIFetch                 // CU -> L1I instruction fetch
+	opReadData               // L2/L1I -> CU data response
+	opMemRead                // L2/LLC -> Dir read request
+	opMemWrite               // L2 -> Dir write-through (data)
+	opMemData                // Dir -> L2/LLC data response
+	opCohProbe               // Dir -> CU coherence probe
+	opCohAck                 // CU -> Dir coherence ack
+	opCPURead                // CPU -> LLC read request
+	opCPUData                // LLC -> CPU data response
+	opWriteAck               // L2 -> CU write acknowledgement
+)
+
+// pkt is the protocol payload carried in noc.Message.Payload.
+//
+// Hit/miss outcomes and directory targets are pre-drawn at issue time from
+// per-requester random streams and carried in the packet. This keeps the
+// workload realization identical across arbitration policies (the op stream
+// of each CU depends only on its op index), so policy comparisons are paired
+// and differences reflect scheduling, not divergent random streams.
+type pkt struct {
+	kind opKind
+	// requester is the node that originated the transaction (CU or CPU);
+	// final data responses are routed to it.
+	requester noc.NodeID
+	// via is the intermediate cache (L2 or LLC) on two-level flows.
+	via noc.NodeID
+	// hit is the pre-drawn cache outcome at the target (L2 or LLC).
+	hit bool
+	// dir is the pre-chosen directory for the miss/write path.
+	dir noc.NodeID
+}
+
+// PhaseParams is the per-quadrant behavioural parameter set active during the
+// current workload phase; the Runner refreshes it every cycle from the
+// quadrant's synfull instance.
+type PhaseParams struct {
+	MemRatio      float64
+	WriteRatio    float64
+	L1Hit         float64
+	L2Hit         float64
+	CoherenceRate float64
+	CPUMemRate    float64
+	LLCHit        float64
+}
+
+// send constructs and injects a protocol message at the from node.
+func (s *System) send(from *noc.Node, to noc.NodeID, class noc.Class, typ noc.MsgType, flits int, p pkt) {
+	s.nextID++
+	from.Inject(&noc.Message{
+		ID:        s.nextID,
+		Dst:       to,
+		Class:     class,
+		Type:      typ,
+		SizeFlits: flits,
+		Payload:   p,
+	})
+}
+
+// timedMsg is a bank reply awaiting its service latency.
+type timedMsg struct {
+	ready int64
+	to    noc.NodeID
+	class noc.Class
+	typ   noc.MsgType
+	flits int
+	p     pkt
+}
+
+// Bank is a cache or directory endpoint: it services incoming protocol
+// messages after a fixed latency, bounded by a per-cycle reply bandwidth.
+type Bank struct {
+	Node  *noc.Node
+	Label string
+
+	sys  *System
+	quad *Quadrant
+
+	latency  int64
+	perCycle int
+	queue    []timedMsg
+
+	// Handled counts protocol messages received by the bank.
+	Handled int64
+}
+
+func newBank(sys *System, node *noc.Node, label string, quad *Quadrant) *Bank {
+	b := &Bank{Node: node, Label: label, sys: sys, quad: quad}
+	switch label {
+	case "L2":
+		b.latency, b.perCycle = sys.Cfg.L2Latency, sys.Cfg.L2PerCycle
+	case "L1I":
+		b.latency, b.perCycle = sys.Cfg.L1ILatency, sys.Cfg.L2PerCycle
+	case "Dir":
+		b.latency, b.perCycle = sys.Cfg.DirLatency, sys.Cfg.DirPerCycle
+	case "LLC":
+		b.latency, b.perCycle = sys.Cfg.LLCLatency, sys.Cfg.L2PerCycle
+	default:
+		panic("apu: unknown bank label " + label)
+	}
+	node.Sink = b.sink
+	return b
+}
+
+func (b *Bank) reply(now int64, to noc.NodeID, class noc.Class, typ noc.MsgType, flits int, p pkt) {
+	b.queue = append(b.queue, timedMsg{
+		ready: now + b.latency, to: to, class: class, typ: typ, flits: flits, p: p,
+	})
+}
+
+// sink handles a protocol message arriving at the bank.
+func (b *Bank) sink(now int64, m *noc.Message) {
+	b.Handled++
+	p, ok := m.Payload.(pkt)
+	if !ok {
+		panic(fmt.Sprintf("apu: %s bank received non-protocol %s", b.Label, m))
+	}
+	switch p.kind {
+	case opGPURead: // at L2
+		if p.hit {
+			b.reply(now, p.requester, ClassGPUResp, noc.TypeResponse, DataFlits,
+				pkt{kind: opReadData, requester: p.requester})
+			return
+		}
+		b.reply(now, p.dir, ClassMemReq, noc.TypeRequest, ReqFlits,
+			pkt{kind: opMemRead, requester: p.requester, via: b.Node.ID})
+	case opGPUWrite: // at L2: write-through to memory, ack the CU
+		b.reply(now, p.dir, ClassMemReq, noc.TypeRequest, DataFlits,
+			pkt{kind: opMemWrite, requester: p.requester, via: b.Node.ID})
+		b.reply(now, p.requester, ClassGPUResp, noc.TypeResponse, ReqFlits,
+			pkt{kind: opWriteAck, requester: p.requester})
+	case opIFetch: // at L1I
+		b.reply(now, p.requester, ClassGPUResp, noc.TypeResponse, DataFlits,
+			pkt{kind: opReadData, requester: p.requester})
+	case opMemRead: // at Dir
+		b.reply(now, p.via, ClassMemResp, noc.TypeResponse, DataFlits,
+			pkt{kind: opMemData, requester: p.requester, via: p.via})
+	case opMemWrite, opCohAck: // absorbed at Dir
+	case opMemData:
+		switch b.Label {
+		case "L2": // fill, then forward data to the requesting CU
+			b.reply(now, p.requester, ClassGPUResp, noc.TypeResponse, DataFlits,
+				pkt{kind: opReadData, requester: p.requester})
+		case "LLC": // fill, then forward data to the CPU
+			b.reply(now, p.requester, ClassCPUResp, noc.TypeResponse, DataFlits,
+				pkt{kind: opCPUData, requester: p.requester})
+		default:
+			panic(fmt.Sprintf("apu: %s bank received memory data", b.Label))
+		}
+	case opCPURead: // at LLC
+		if p.hit {
+			b.reply(now, p.requester, ClassCPUResp, noc.TypeResponse, DataFlits,
+				pkt{kind: opCPUData, requester: p.requester})
+			return
+		}
+		b.reply(now, p.dir, ClassMemReq, noc.TypeRequest, ReqFlits,
+			pkt{kind: opMemRead, requester: p.requester, via: b.Node.ID})
+	default:
+		panic(fmt.Sprintf("apu: %s bank cannot handle op %d", b.Label, p.kind))
+	}
+}
+
+// Tick injects replies whose service latency has elapsed, up to the bank's
+// per-cycle bandwidth. Call once per cycle before Network.Step.
+func (b *Bank) Tick(now int64) {
+	sent := 0
+	for len(b.queue) > 0 && b.queue[0].ready <= now && sent < b.perCycle {
+		t := b.queue[0]
+		copy(b.queue, b.queue[1:])
+		b.queue = b.queue[:len(b.queue)-1]
+		b.sys.send(b.Node, t.to, t.class, t.typ, t.flits, t.p)
+		sent++
+	}
+}
+
+// QueueLen returns the number of replies awaiting service.
+func (b *Bank) QueueLen() int { return len(b.queue) }
+
+// CU is one GPU compute unit with its private L1D. It retires OpsRemaining
+// operations; memory reads and writes occupy its outstanding-request window,
+// so slow responses stall issue — the mechanism that turns NoC latency into
+// execution time.
+type CU struct {
+	Node *noc.Node
+
+	sys  *System
+	quad *Quadrant
+	l1i  *Bank
+
+	OpsRemaining int64
+	Outstanding  int
+	Window       int
+	IssueWidth   int
+	// IFetchRate is the per-cycle probability of an instruction fetch to the
+	// CU's shared L1I.
+	IFetchRate float64
+
+	// DoneAt is the completion cycle, or -1 while running.
+	DoneAt int64
+	// Stalls counts cycles in which issue stopped on a full window.
+	Stalls int64
+	// Issued counts operations retired.
+	Issued int64
+
+	// opRNG drives per-op draws (a fixed number per op, indexed by op order)
+	// and cycRNG drives per-cycle draws (ifetch, coherence); splitting the
+	// streams keeps the workload identical across arbitration policies.
+	opRNG  *rand.Rand
+	cycRNG *rand.Rand
+
+	pending *cuOp
+}
+
+// cuOp is one drawn-but-not-yet-issued operation.
+type cuOp struct {
+	kind opKind // opGPURead, opGPUWrite, or opIFetch sentinel for compute
+	l2   *Bank
+	dir  *Bank
+	hit  bool
+	mem  bool // false = compute op
+}
+
+// drawOp consumes a fixed number of random draws and materializes the CU's
+// next operation under the active phase parameters.
+func (c *CU) drawOp(params *PhaseParams) *cuOp {
+	fMem := c.opRNG.Float64()
+	fWrite := c.opRNG.Float64()
+	fL1 := c.opRNG.Float64()
+	fL2 := c.opRNG.Float64()
+	l2 := c.quad.L2s[c.opRNG.Intn(len(c.quad.L2s))]
+	dir := c.sys.Dirs[c.opRNG.Intn(len(c.sys.Dirs))]
+
+	op := &cuOp{l2: l2, dir: dir, hit: fL2 < params.L2Hit}
+	if fMem >= params.MemRatio {
+		return op // compute op
+	}
+	op.mem = true
+	if fWrite < params.WriteRatio {
+		op.kind = opGPUWrite
+		return op
+	}
+	if fL1 < params.L1Hit {
+		op.mem = false // L1D hit: no traffic, retires like a compute op
+		return op
+	}
+	op.kind = opGPURead
+	return op
+}
+
+// Done reports whether the CU has retired all its work and drained its
+// window.
+func (c *CU) Done() bool { return c.DoneAt >= 0 }
+
+// Tick issues up to IssueWidth operations and the cycle's background traffic
+// (instruction fetches, coherence). Call once per cycle until done.
+func (c *CU) Tick(now int64, params *PhaseParams) {
+	if c.OpsRemaining <= 0 {
+		if c.Outstanding == 0 && c.DoneAt < 0 {
+			c.DoneAt = now
+		}
+		return
+	}
+	for i := 0; i < c.IssueWidth && c.OpsRemaining > 0; i++ {
+		if c.pending == nil {
+			c.pending = c.drawOp(params)
+		}
+		op := c.pending
+		if op.mem {
+			// Reads and write-through writes both occupy a window slot: the
+			// write models a bounded write/coalescing buffer released by the
+			// L2's ack; without the bound, fire-and-forget writes flood the
+			// NoC unrealistically.
+			if c.Outstanding >= c.Window {
+				c.Stalls++
+				break // in-order issue: the stalled op blocks the rest
+			}
+			flits := ReqFlits
+			if op.kind == opGPUWrite {
+				flits = DataFlits
+			}
+			c.sys.send(c.Node, op.l2.Node.ID, ClassGPUReq, noc.TypeRequest, flits,
+				pkt{kind: op.kind, requester: c.Node.ID, hit: op.hit, dir: op.dir.Node.ID})
+			c.Outstanding++
+		}
+		c.pending = nil
+		c.OpsRemaining--
+		c.Issued++
+	}
+	// Per-cycle background draws: always the same three draws per active
+	// cycle so the stream stays aligned across policies.
+	fIF := c.cycRNG.Float64()
+	fCoh := c.cycRNG.Float64()
+	dir := c.sys.Dirs[c.cycRNG.Intn(len(c.sys.Dirs))]
+	if fIF < c.IFetchRate {
+		c.sys.send(c.Node, c.l1i.Node.ID, ClassGPUReq, noc.TypeRequest, ReqFlits,
+			pkt{kind: opIFetch, requester: c.Node.ID})
+	}
+	if fCoh < params.CoherenceRate {
+		// A directory probes this CU; the CU acks on receipt.
+		c.sys.send(dir.Node, c.Node.ID, ClassCoh, noc.TypeCoherence, ReqFlits,
+			pkt{kind: opCohProbe, requester: dir.Node.ID})
+	}
+}
+
+// sink handles responses and coherence probes arriving at the CU.
+func (c *CU) sink(now int64, m *noc.Message) {
+	p, ok := m.Payload.(pkt)
+	if !ok {
+		return // foreign message (e.g. raw synthetic traffic in tests)
+	}
+	switch p.kind {
+	case opReadData:
+		if m.Class == ClassGPUResp && m.Type == noc.TypeResponse {
+			// Instruction-fetch data does not occupy the window; only read
+			// responses for windowed requests decrement it. IFetch replies
+			// come from L1I banks, window reads from L2 banks; both use
+			// opReadData, so distinguish by source kind.
+			if src, isBank := c.sys.byNode[m.Src].(*Bank); isBank && src.Label == "L2" {
+				if c.Outstanding > 0 {
+					c.Outstanding--
+				}
+			}
+		}
+	case opWriteAck:
+		if c.Outstanding > 0 {
+			c.Outstanding--
+		}
+	case opCohProbe:
+		c.sys.send(c.Node, m.Src, ClassCoh, noc.TypeCoherence, ReqFlits,
+			pkt{kind: opCohAck, requester: c.Node.ID})
+	}
+}
+
+// CPU is one quadrant's CPU cluster: it issues OpsRemaining memory operations
+// to its LLC through a bounded window.
+type CPU struct {
+	Node *noc.Node
+
+	sys  *System
+	quad *Quadrant
+
+	OpsRemaining int64
+	Outstanding  int
+	Window       int
+
+	// DoneAt is the completion cycle, or -1 while running.
+	DoneAt int64
+	Stalls int64
+
+	// rateRNG is drawn once per active cycle; opRNG twice per issued op.
+	rateRNG *rand.Rand
+	opRNG   *rand.Rand
+
+	wantIssue bool
+}
+
+// Done reports whether the CPU finished its operations.
+func (c *CPU) Done() bool { return c.DoneAt >= 0 }
+
+// Tick issues at most one memory operation per cycle with probability
+// params.CPUMemRate. The Bernoulli draw happens every active cycle and the
+// op's cache outcome is drawn per issued op, keeping both streams aligned
+// across policies.
+func (c *CPU) Tick(now int64, params *PhaseParams) {
+	if c.OpsRemaining <= 0 {
+		if c.Outstanding == 0 && c.DoneAt < 0 {
+			c.DoneAt = now
+		}
+		return
+	}
+	if c.rateRNG.Float64() < params.CPUMemRate {
+		c.wantIssue = true
+	}
+	if !c.wantIssue {
+		return
+	}
+	if c.Outstanding >= c.Window {
+		c.Stalls++
+		return
+	}
+	hit := c.opRNG.Float64() < params.LLCHit
+	dir := c.sys.Dirs[c.opRNG.Intn(len(c.sys.Dirs))]
+	c.sys.send(c.Node, c.quad.LLC.Node.ID, ClassCPUReq, noc.TypeRequest, ReqFlits,
+		pkt{kind: opCPURead, requester: c.Node.ID, hit: hit, dir: dir.Node.ID})
+	c.Outstanding++
+	c.OpsRemaining--
+	c.wantIssue = false
+}
+
+// sink handles LLC responses arriving at the CPU.
+func (c *CPU) sink(now int64, m *noc.Message) {
+	if p, ok := m.Payload.(pkt); ok && p.kind == opCPUData {
+		if c.Outstanding > 0 {
+			c.Outstanding--
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package apu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlnoc/internal/noc"
+	"mlnoc/internal/stats"
+	"mlnoc/internal/synfull"
+)
+
+// RunnerConfig parameterizes a workload execution.
+type RunnerConfig struct {
+	// OpScale multiplies every model's operation counts, shrinking or
+	// growing program length (default 1.0). Benchmarks use < 1 to keep the
+	// full policy sweep fast; the shape of the results is insensitive to it.
+	OpScale float64
+	// CPUWindow is the CPU outstanding-request bound (default 8).
+	CPUWindow int
+	// IFetchRate is the per-CU per-cycle instruction fetch probability
+	// (default 0.01).
+	IFetchRate float64
+	// MaxCycles bounds Run (default 2,000,000).
+	MaxCycles int64
+	// Seed drives all workload randomness.
+	Seed int64
+}
+
+func (c *RunnerConfig) applyDefaults() {
+	if c.OpScale == 0 {
+		c.OpScale = 1
+	}
+	if c.CPUWindow == 0 {
+		c.CPUWindow = 8
+	}
+	if c.IFetchRate == 0 {
+		c.IFetchRate = 0.01
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 2_000_000
+	}
+}
+
+// Runner executes one synfull workload instance per quadrant — the paper's
+// multi-program scenario (Section 4.2) — and records each instance's
+// completion time.
+type Runner struct {
+	Sys       *System
+	Cfg       RunnerConfig
+	Instances [4]*synfull.Instance
+
+	// Completion[q] is the cycle at which quadrant q's application finished,
+	// or -1 while running.
+	Completion [4]int64
+
+	banks []*Bank
+}
+
+// NewRunner prepares a runner executing models[q] in quadrant q. Pass four
+// copies of the same model for the paper's homogeneous scenario (Figs. 9-10)
+// or a Fig. 11 mix.
+func NewRunner(sys *System, models [4]*synfull.Model, cfg RunnerConfig) *Runner {
+	cfg.applyDefaults()
+	r := &Runner{
+		Sys:   sys,
+		Cfg:   cfg,
+		banks: sys.AllBanks(),
+	}
+	for q := 0; q < 4; q++ {
+		m := models[q]
+		r.Instances[q] = synfull.NewInstance(m, cfg.Seed+int64(q)*7919)
+		r.Completion[q] = -1
+		quad := sys.Quadrants[q]
+		for ci, cu := range quad.CUs {
+			cu.OpsRemaining = scaleOps(m.OpsPerCU, cfg.OpScale)
+			cu.Window = m.Window
+			cu.IssueWidth = m.IssueWidth
+			cu.IFetchRate = cfg.IFetchRate
+			cu.DoneAt = -1
+			cu.pending = nil
+			base := cfg.Seed*1_000_003 + int64(q)*4096 + int64(ci)
+			cu.opRNG = rand.New(rand.NewSource(base*2 + 1))
+			cu.cycRNG = rand.New(rand.NewSource(base*2 + 2))
+		}
+		quad.CPU.OpsRemaining = scaleOps(m.OpsPerCPU, cfg.OpScale)
+		quad.CPU.Window = cfg.CPUWindow
+		quad.CPU.DoneAt = -1
+		quad.CPU.wantIssue = false
+		quad.CPU.rateRNG = rand.New(rand.NewSource(cfg.Seed*1_000_003 + 9001 + int64(q)))
+		quad.CPU.opRNG = rand.New(rand.NewSource(cfg.Seed*1_000_003 + 9101 + int64(q)))
+	}
+	return r
+}
+
+func scaleOps(ops int64, scale float64) int64 {
+	v := int64(float64(ops) * scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Done reports whether all four instances have completed.
+func (r *Runner) Done() bool {
+	for _, c := range r.Completion {
+		if c < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances the whole system by one cycle: workload phase machines, CU
+// and CPU issue, coherence generation, bank service, then the NoC.
+func (r *Runner) Step() {
+	now := r.Sys.Net.Cycle()
+	for q := 0; q < 4; q++ {
+		if r.Completion[q] >= 0 {
+			continue // idle quadrant (Section 4.2)
+		}
+		inst := r.Instances[q]
+		inst.Tick(now)
+		ph := inst.Cur()
+		params := PhaseParams{
+			MemRatio:      ph.MemRatio,
+			WriteRatio:    ph.WriteRatio,
+			L1Hit:         ph.L1Hit,
+			L2Hit:         ph.L2Hit,
+			CoherenceRate: ph.CoherenceRate,
+			CPUMemRate:    ph.CPUMemRate,
+			LLCHit:        ph.LLCHit,
+		}
+		r.Sys.params[q] = params
+		quad := r.Sys.Quadrants[q]
+
+		done := true
+		for _, cu := range quad.CUs {
+			cu.Tick(now, &params)
+			if !cu.Done() {
+				done = false
+			}
+		}
+		quad.CPU.Tick(now, &params)
+		if !quad.CPU.Done() {
+			done = false
+		}
+		if done {
+			r.Completion[q] = now
+		}
+	}
+	for _, b := range r.banks {
+		b.Tick(now)
+	}
+	r.Sys.Net.Step()
+}
+
+// Run steps until every instance completes or Cfg.MaxCycles cycles elapse,
+// then lets residual traffic drain. It reports whether all completed.
+func (r *Runner) Run() bool {
+	for i := int64(0); i < r.Cfg.MaxCycles && !r.Done(); i++ {
+		r.Step()
+	}
+	done := r.Done()
+	r.Sys.Net.Drain(10_000)
+	return done
+}
+
+// AvgExecTime is the mean completion time across the four instances (the
+// Fig. 9 metric). It panics if an instance has not finished.
+func (r *Runner) AvgExecTime() float64 {
+	var xs [4]float64
+	for q, c := range r.Completion {
+		if c < 0 {
+			panic(fmt.Sprintf("apu: quadrant %d did not complete", q))
+		}
+		xs[q] = float64(c)
+	}
+	return stats.Mean(xs[:])
+}
+
+// TailExecTime is the completion time of the slowest instance (the Fig. 10
+// metric).
+func (r *Runner) TailExecTime() float64 {
+	var xs [4]float64
+	for q, c := range r.Completion {
+		if c < 0 {
+			panic(fmt.Sprintf("apu: quadrant %d did not complete", q))
+		}
+		xs[q] = float64(c)
+	}
+	return stats.Max(xs[:])
+}
+
+// ExecResult bundles the execution-time metrics of one run.
+type ExecResult struct {
+	Avg, Tail  float64
+	Completion [4]int64
+	AvgLatency float64 // mean NoC message latency during the run
+	Cycles     int64
+	Finished   bool
+}
+
+// RunWorkload is the one-call experiment helper: build a system with the
+// given config and policy, execute models (all four quadrants), and report
+// execution times. Homogeneous runs pass the same model four times.
+func RunWorkload(sysCfg Config, policy noc.Policy, models [4]*synfull.Model, runCfg RunnerConfig) ExecResult {
+	sys := NewSystem(sysCfg, runCfg.Seed+1)
+	sys.Net.SetPolicy(policy)
+	if oc, ok := policy.(interface{ OnCycle(*noc.Network) }); ok {
+		sys.Net.OnCycle = oc.OnCycle
+	}
+	r := NewRunner(sys, models, runCfg)
+	finished := r.Run()
+	res := ExecResult{
+		Completion: r.Completion,
+		AvgLatency: sys.Net.Stats().Latency.Mean(),
+		Cycles:     sys.Net.Cycle(),
+		Finished:   finished,
+	}
+	if finished {
+		res.Avg = r.AvgExecTime()
+		res.Tail = r.TailExecTime()
+	}
+	return res
+}
+
+// Homogeneous returns a [4]*Model with the same model in every quadrant.
+func Homogeneous(m *synfull.Model) [4]*synfull.Model {
+	return [4]*synfull.Model{m, m, m, m}
+}

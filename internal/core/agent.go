@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math/rand"
+
+	"mlnoc/internal/nn"
+	"mlnoc/internal/noc"
+	"mlnoc/internal/rl"
+)
+
+// Agent is the shared RL arbitration agent (Section 3.1.1 / Algorithm 1).
+// One Agent — one set of neural-network weights — serves every output port of
+// every router: each arbitration builds the router's state vector, the
+// network produces a Q-value per input-buffer slot, and the output port is
+// granted to the competing buffer with the highest Q-value (with ε-greedy
+// exploration while training).
+//
+// In training mode the agent records <s, a, r, s'> experiences — the next
+// state of a decision is the state observed at the same (router, output)
+// site's following arbitration — and runs one replay batch per cycle through
+// its OnCycle hook.
+type Agent struct {
+	Spec   *StateSpec
+	DQL    *rl.DQL
+	Reward *rl.RewardTracker
+
+	// Training enables exploration and experience collection. With Training
+	// false the agent is the paper's "NN" evaluation policy: pure greedy
+	// inference on the trained weights.
+	Training bool
+
+	// EpsStart and EpsDecayCycles define an exploration schedule: epsilon
+	// decays linearly from EpsStart to the configured floor over
+	// EpsDecayCycles training cycles. With EpsDecayCycles zero the floor is
+	// used throughout (the paper's fixed epsilon).
+	EpsStart       float64
+	EpsDecayCycles int64
+
+	cyclesSeen int64
+
+	rng *rand.Rand
+
+	// pending holds, per (router, output) arbitration site, the last
+	// decision awaiting its next state.
+	pending map[int64]*pendingDecision
+
+	decisions int64
+	explored  int64
+}
+
+type pendingDecision struct {
+	state  []float64
+	action int
+	reward float64
+}
+
+// AgentConfig configures NewAgent.
+type AgentConfig struct {
+	// Hidden is the hidden-layer width (paper: 15 for the mesh agent, 42 for
+	// the APU agent).
+	Hidden int
+	// DQL holds the Q-learning hyperparameters (zero fields take the paper's
+	// Section 4.6 defaults).
+	DQL rl.DQLConfig
+	// Reward selects the reward function (default: global age).
+	Reward rl.RewardKind
+	// EpsStart and EpsDecayCycles configure linear exploration decay from
+	// EpsStart down to DQL.Epsilon over EpsDecayCycles cycles. Zero values
+	// disable the schedule (fixed epsilon, as in the paper).
+	EpsStart       float64
+	EpsDecayCycles int64
+	// Seed seeds the agent's private RNG.
+	Seed int64
+}
+
+// NewAgent builds an agent for the given state spec: a one-hidden-layer MLP
+// (sigmoid hidden activation, ReLU output — Section 4.6) wrapped in a deep
+// Q-learner with replay memory and target network.
+func NewAgent(spec *StateSpec, cfg AgentConfig) *Agent {
+	if cfg.Hidden <= 0 {
+		cfg.Hidden = spec.ActionSize()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// The paper's architecture is sigmoid hidden / ReLU output (Section
+	// 4.6); the output layer here is leaky ReLU, which keeps the same
+	// non-negative Q shape while avoiding dying-ReLU outputs that can never
+	// recover under bootstrapped targets.
+	net := nn.New(
+		[]int{spec.InputSize(), cfg.Hidden, spec.ActionSize()},
+		[]nn.Activation{nn.Sigmoid, nn.LeakyReLU},
+		rng,
+	)
+	if cfg.DQL.Epsilon == 0 {
+		cfg.DQL.Epsilon = 0.001
+	}
+	return &Agent{
+		Spec:           spec,
+		DQL:            rl.NewDQL(net, cfg.DQL),
+		Reward:         rl.NewRewardTracker(cfg.Reward),
+		Training:       true,
+		EpsStart:       cfg.EpsStart,
+		EpsDecayCycles: cfg.EpsDecayCycles,
+		rng:            rng,
+		pending:        make(map[int64]*pendingDecision),
+	}
+}
+
+// Epsilon returns the current exploration rate under the decay schedule.
+func (a *Agent) Epsilon() float64 {
+	floor := a.DQL.Cfg.Epsilon
+	if a.EpsDecayCycles <= 0 || a.EpsStart <= floor {
+		return floor
+	}
+	frac := float64(a.cyclesSeen) / float64(a.EpsDecayCycles)
+	if frac >= 1 {
+		return floor
+	}
+	return a.EpsStart - (a.EpsStart-floor)*frac
+}
+
+// NewAgentWithNet wraps a pre-trained network in an evaluation-only agent
+// (the figures' "NN" policy).
+func NewAgentWithNet(spec *StateSpec, net *nn.MLP, seed int64) *Agent {
+	a := &Agent{
+		Spec:    spec,
+		DQL:     rl.NewDQL(net, rl.DQLConfig{}),
+		Reward:  rl.NewRewardTracker(rl.RewardGlobalAge),
+		rng:     rand.New(rand.NewSource(seed)),
+		pending: make(map[int64]*pendingDecision),
+	}
+	return a
+}
+
+// Net returns the online Q-network.
+func (a *Agent) Net() *nn.MLP { return a.DQL.Online }
+
+// Name implements noc.Policy.
+func (a *Agent) Name() string {
+	if a.Training {
+		return "rl-agent"
+	}
+	return "nn"
+}
+
+// Decisions returns the number of multi-candidate arbitrations performed.
+func (a *Agent) Decisions() int64 { return a.decisions }
+
+// ExplorationFraction returns the fraction of decisions taken randomly.
+func (a *Agent) ExplorationFraction() float64 {
+	if a.decisions == 0 {
+		return 0
+	}
+	return float64(a.explored) / float64(a.decisions)
+}
+
+func siteKey(ctx *noc.ArbContext) int64 {
+	return int64(ctx.Router.ID())*noc.MaxPorts + int64(ctx.Out)
+}
+
+// Select implements noc.Policy (Algorithm 1). The engine has already removed
+// ineligible requesters (granted input ports, full downstream buffers), so
+// the Q-value walk of Algorithm 1 lines 9-19 reduces to an argmax over the
+// remaining candidates.
+func (a *Agent) Select(ctx *noc.ArbContext, cands []noc.Candidate) int {
+	a.decisions++
+	state := a.Spec.BuildState(ctx.Net, ctx.Cycle, cands)
+
+	// Algorithm 1 line 10: with probability epsilon the router selects a
+	// random candidate. The paper keeps this in the deployed decision
+	// algorithm, not just during training; besides exploration it acts as an
+	// escape hatch against persistent-loser patterns of a frozen network.
+	choice := 0
+	if a.rng.Float64() < a.Epsilon() {
+		choice = a.rng.Intn(len(cands))
+		a.explored++
+	} else {
+		q := a.DQL.Online.Forward(state)
+		bestQ := q[a.Spec.Slot(cands[0].Port, cands[0].VC)]
+		for i, c := range cands[1:] {
+			if v := q[a.Spec.Slot(c.Port, c.VC)]; v > bestQ {
+				bestQ, choice = v, i+1
+			}
+		}
+	}
+
+	if a.Training {
+		key := siteKey(ctx)
+		if prev := a.pending[key]; prev != nil {
+			valid := make([]int, len(cands))
+			for i, c := range cands {
+				valid[i] = a.Spec.Slot(c.Port, c.VC)
+			}
+			a.DQL.Observe(rl.Experience{
+				State:     prev.state,
+				Action:    prev.action,
+				Reward:    prev.reward,
+				Next:      state,
+				NextValid: valid,
+			})
+		}
+		a.pending[key] = &pendingDecision{
+			state:  state,
+			action: a.Spec.Slot(cands[choice].Port, cands[choice].VC),
+			reward: a.Reward.DecisionReward(ctx, cands, choice),
+		}
+	}
+	return choice
+}
+
+// OnCycle refreshes the reward tracker and, in training mode, runs one replay
+// training batch. Install it as the network's OnCycle hook.
+func (a *Agent) OnCycle(n *noc.Network) {
+	a.Reward.OnCycle(n)
+	if a.Training {
+		a.cyclesSeen++
+		a.DQL.TrainBatch(a.rng)
+	}
+}
+
+// FlushPending converts all incomplete decisions into terminal experiences
+// (no successor state). Useful at the end of a training phase so the final
+// rewards are not lost.
+func (a *Agent) FlushPending() {
+	for key, p := range a.pending {
+		a.DQL.Observe(rl.Experience{State: p.state, Action: p.action, Reward: p.reward})
+		delete(a.pending, key)
+	}
+}
+
+// Freeze switches the agent to pure-inference mode (the "NN" policy):
+// exploration and learning stop, pending experiences are flushed.
+func (a *Agent) Freeze() {
+	a.FlushPending()
+	a.Training = false
+}

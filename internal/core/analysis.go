@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mlnoc/internal/nn"
+)
+
+// Heatmap is the Figs. 4/7 visualization data: for every feature element
+// (row) and every input-buffer slot (column), the mean first-layer weight
+// magnitude across all hidden neurons. Darker pixels in the paper are larger
+// values here.
+type Heatmap struct {
+	// RowLabels names the feature elements (one-hot features expand to three
+	// rows, as in Fig. 7).
+	RowLabels []string
+	// ColLabels names the input-buffer slots, grouped by port ("core.0" ...).
+	ColLabels []string
+	// Abs[r][c] is the mean absolute weight of (feature element r, slot c).
+	Abs [][]float64
+	// Signed[r][c] is the signed mean weight, used for the Section 4.6
+	// sign analysis (hop count negative on W/E ports).
+	Signed [][]float64
+	// OutputWeightMean is the mean final-layer weight; when positive, larger
+	// hidden pre-activations mean larger Q-values, so signed first-layer
+	// weights can be read directly.
+	OutputWeightMean float64
+}
+
+// NewHeatmap extracts the heatmap of a trained agent network laid out by
+// spec. The network's input layer must match spec.InputSize().
+func NewHeatmap(spec *StateSpec, net *nn.MLP) *Heatmap {
+	if net.InputSize() != spec.InputSize() {
+		panic(fmt.Sprintf("core: network input %d does not match spec %d",
+			net.InputSize(), spec.InputSize()))
+	}
+	fw := spec.Features.Width()
+	cols := spec.ActionSize()
+	h := &Heatmap{
+		RowLabels:        spec.Features.Labels(),
+		OutputWeightMean: net.OutputWeightMean(),
+	}
+	for _, p := range spec.Ports {
+		for vc := 0; vc < spec.VCs; vc++ {
+			h.ColLabels = append(h.ColLabels, fmt.Sprintf("%s.%d", p, vc))
+		}
+	}
+	abs := net.InputWeightAbsMean()
+	signed := net.InputWeightSignedMean()
+	h.Abs = make([][]float64, fw)
+	h.Signed = make([][]float64, fw)
+	for r := 0; r < fw; r++ {
+		h.Abs[r] = make([]float64, cols)
+		h.Signed[r] = make([]float64, cols)
+		for c := 0; c < cols; c++ {
+			h.Abs[r][c] = abs[c*fw+r]
+			h.Signed[r][c] = signed[c*fw+r]
+		}
+	}
+	return h
+}
+
+// RowMean returns the mean absolute weight of row r across all slots — the
+// overall importance of that feature element.
+func (h *Heatmap) RowMean(r int) float64 {
+	sum := 0.0
+	for _, v := range h.Abs[r] {
+		sum += v
+	}
+	return sum / float64(len(h.Abs[r]))
+}
+
+// RankedRows returns row indices sorted by descending RowMean: the features
+// the trained network uses most, which is the reading the paper's architects
+// performed on Figs. 4 and 7.
+func (h *Heatmap) RankedRows() []int {
+	rows := make([]int, len(h.Abs))
+	for i := range rows {
+		rows[i] = i
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		return h.RowMean(rows[a]) > h.RowMean(rows[b])
+	})
+	return rows
+}
+
+// PortSignedMean returns the mean signed weight of row r restricted to the
+// columns of the given port label prefix (e.g. "west"). Used to verify the
+// Section 4.6 observation that hop-count weights are negative on W/E ports.
+func (h *Heatmap) PortSignedMean(r int, portPrefix string) float64 {
+	sum, n := 0.0, 0
+	for c, lbl := range h.ColLabels {
+		if len(lbl) > len(portPrefix) && lbl[:len(portPrefix)] == portPrefix && lbl[len(portPrefix)] == '.' {
+			sum += h.Signed[r][c]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

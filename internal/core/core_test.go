@@ -1,0 +1,570 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlnoc/internal/noc"
+	"mlnoc/internal/rl"
+)
+
+func TestFeatureWidths(t *testing.T) {
+	if w := AllFeatures.Width(); w != 12 {
+		t.Fatalf("AllFeatures.Width() = %d, want 12 (Section 4.3)", w)
+	}
+	if w := MeshFeatures.Width(); w != 4 {
+		t.Fatalf("MeshFeatures.Width() = %d, want 4", w)
+	}
+	if len(AllFeatures.Labels()) != 12 {
+		t.Fatalf("labels = %d, want 12", len(AllFeatures.Labels()))
+	}
+}
+
+func TestSpecSizes(t *testing.T) {
+	apu := APUSpec()
+	if apu.InputSize() != 504 {
+		t.Fatalf("APU input size = %d, want 504 (Section 4.6)", apu.InputSize())
+	}
+	if apu.ActionSize() != 42 {
+		t.Fatalf("APU action size = %d, want 42", apu.ActionSize())
+	}
+	mesh := MeshSpec(3)
+	if mesh.InputSize() != 60 {
+		t.Fatalf("mesh input size = %d, want 60 (Section 3.2)", mesh.InputSize())
+	}
+	if mesh.ActionSize() != 15 {
+		t.Fatalf("mesh action size = %d, want 15", mesh.ActionSize())
+	}
+}
+
+func TestSlotRoundTrip(t *testing.T) {
+	spec := APUSpec()
+	seen := map[int]bool{}
+	for _, p := range spec.Ports {
+		for vc := 0; vc < spec.VCs; vc++ {
+			s := spec.Slot(p, vc)
+			if s < 0 || s >= spec.ActionSize() {
+				t.Fatalf("slot(%v,%d) = %d out of range", p, vc, s)
+			}
+			if seen[s] {
+				t.Fatalf("slot %d assigned twice", s)
+			}
+			seen[s] = true
+			gp, gvc := spec.SlotPort(s)
+			if gp != p || gvc != vc {
+				t.Fatalf("SlotPort(%d) = (%v,%d), want (%v,%d)", s, gp, gvc, p, vc)
+			}
+		}
+	}
+}
+
+func TestSlotPanicsOnForeignPort(t *testing.T) {
+	spec := MeshSpec(3) // no PortMem
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Slot on foreign port did not panic")
+		}
+	}()
+	spec.Slot(noc.PortMem, 0)
+}
+
+func testNetwork(t *testing.T) (*noc.Network, []*noc.Node) {
+	t.Helper()
+	return noc.BuildMeshCores(noc.Config{Width: 4, Height: 4, VCs: 3})
+}
+
+func TestFeatureExtraction(t *testing.T) {
+	net, _ := testNetwork(t)
+	norm := DefaultNorm()
+	m := &noc.Message{
+		SizeFlits:    5,
+		InjectCycle:  10,
+		ArrivalCycle: 80,
+		Distance:     6,
+		HopCount:     3,
+		ArrivalGap:   7,
+		Type:         noc.TypeCoherence,
+		DstKind:      noc.DstMemory,
+	}
+	dst := make([]float64, AllFeatures.Width())
+	AllFeatures.Extract(dst, &norm, net, 100, m)
+
+	if dst[0] != 5.0/8 {
+		t.Errorf("payload = %v, want %v", dst[0], 5.0/8)
+	}
+	// Soft local-age normalization: la/(la+cap/2) with la=20.
+	wantLA := 20.0 / (20.0 + norm.LocalAgeCap/2)
+	if dst[1] != wantLA {
+		t.Errorf("local age = %v, want %v", dst[1], wantLA)
+	}
+	if dst[2] != 6.0/15 {
+		t.Errorf("distance = %v, want %v", dst[2], 6.0/15)
+	}
+	if dst[3] != 3.0/15 {
+		t.Errorf("hop count = %v, want %v", dst[3], 3.0/15)
+	}
+	if dst[4] != 0 {
+		t.Errorf("in-flight = %v, want 0", dst[4])
+	}
+	if dst[5] != 7.0/63 {
+		t.Errorf("inter-arrival = %v, want %v", dst[5], 7.0/63)
+	}
+	// One-hot message type: coherence.
+	if dst[6] != 0 || dst[7] != 0 || dst[8] != 1 {
+		t.Errorf("msg type one-hot = %v", dst[6:9])
+	}
+	// One-hot destination type: memory.
+	if dst[9] != 0 || dst[10] != 0 || dst[11] != 1 {
+		t.Errorf("dst type one-hot = %v", dst[9:12])
+	}
+}
+
+func TestQuickFeatureRange(t *testing.T) {
+	net, _ := testNetwork(t)
+	norm := DefaultNorm()
+	f := func(flits8, hops8, dist8 uint8, arrival, gap int16, typ8, dk8 uint8) bool {
+		m := &noc.Message{
+			SizeFlits:    int(flits8%12) + 1,
+			ArrivalCycle: 1000 - int64(arrival%1000),
+			Distance:     int(dist8 % 20),
+			HopCount:     int(hops8 % 20),
+			ArrivalGap:   int64(gap%2000) + 2000,
+			Type:         noc.MsgType(typ8 % 3),
+			DstKind:      noc.DstType(dk8 % 3),
+		}
+		dst := make([]float64, AllFeatures.Width())
+		AllFeatures.Extract(dst, &norm, net, 2000, m)
+		for _, v := range dst {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildStateZeroPadding: slots without candidates stay zero.
+func TestBuildStateZeroPadding(t *testing.T) {
+	net, _ := testNetwork(t)
+	spec := MeshSpec(3)
+	cands := []noc.Candidate{
+		{Port: noc.PortNorth, VC: 1, Msg: &noc.Message{
+			SizeFlits: 1, ArrivalCycle: 5, HopCount: 2, Distance: 3,
+		}},
+	}
+	state := spec.BuildState(net, 10, cands)
+	if len(state) != 60 {
+		t.Fatalf("state size %d", len(state))
+	}
+	slot := spec.Slot(noc.PortNorth, 1)
+	fw := spec.Features.Width()
+	nonzero := 0
+	for i, v := range state {
+		if v != 0 {
+			if i < slot*fw || i >= (slot+1)*fw {
+				t.Fatalf("state element %d nonzero outside candidate block [%d,%d)", i, slot*fw, (slot+1)*fw)
+			}
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("candidate block entirely zero")
+	}
+}
+
+func TestRLInspiredMeshPriority(t *testing.T) {
+	p4 := NewRLInspiredMesh4x4()
+	m := &noc.Message{ArrivalCycle: 0, HopCount: 3}
+	// la=10 (<<1 = 20) + hc=3 (<<1 = 6) = 26.
+	if got := p4.Priority(10, m); got != 26 {
+		t.Fatalf("4x4 priority = %d, want 26", got)
+	}
+	p8 := NewRLInspiredMesh8x8()
+	// la=10 + hc=3<<2=12 -> 22.
+	if got := p8.Priority(10, m); got != 22 {
+		t.Fatalf("8x8 priority = %d, want 22", got)
+	}
+	// Local age saturates at 31; 3-bit hop counter saturates at 7 on 4x4.
+	old := &noc.Message{ArrivalCycle: 0, HopCount: 100}
+	if got := p4.Priority(1000, old); got != 31<<1+7<<1 {
+		t.Fatalf("saturated 4x4 priority = %d, want %d", got, 31<<1+7<<1)
+	}
+}
+
+func TestRLInspiredMeshSelectsMaxPriority(t *testing.T) {
+	p := NewRLInspiredMesh4x4()
+	ctx := &noc.ArbContext{Cycle: 100}
+	cands := []noc.Candidate{
+		{Port: noc.PortCore, Msg: &noc.Message{ArrivalCycle: 95, HopCount: 0}},  // pri 10
+		{Port: noc.PortWest, Msg: &noc.Message{ArrivalCycle: 80, HopCount: 2}},  // pri 44
+		{Port: noc.PortNorth, Msg: &noc.Message{ArrivalCycle: 90, HopCount: 1}}, // pri 22
+	}
+	if got := p.Select(ctx, cands); got != 1 {
+		t.Fatalf("Select = %d, want 1", got)
+	}
+}
+
+func TestAlgorithm2StarvationOverride(t *testing.T) {
+	p := NewRLInspiredAPU()
+	// Local age 25 (> 24): priority equals the local age, regardless of hops
+	// or class.
+	m := &noc.Message{ArrivalCycle: 0, HopCount: 15, Type: noc.TypeCoherence}
+	if got := p.Priority(25, noc.PortWest, m); got != 25 {
+		t.Fatalf("override priority = %d, want 25", got)
+	}
+	// Saturates at 31.
+	if got := p.Priority(500, noc.PortWest, m); got != 31 {
+		t.Fatalf("saturated override = %d, want 31", got)
+	}
+	// At exactly the threshold the normal path applies.
+	m2 := &noc.Message{ArrivalCycle: 0, HopCount: 2, Type: noc.TypeRequest}
+	if got := p.Priority(StarvationThreshold, noc.PortCore, m2); got != 2 {
+		t.Fatalf("threshold-edge priority = %d, want 2", got)
+	}
+}
+
+func TestAlgorithm2PortAsymmetry(t *testing.T) {
+	m := &noc.Message{ArrivalCycle: 95, HopCount: 3, Type: noc.TypeRequest}
+	now := int64(100)
+
+	paper := NewRLInspiredAPUPaper() // inverts W/E
+	if got := paper.Priority(now, noc.PortCore, m); got != 3 {
+		t.Fatalf("paper core priority = %d, want 3", got)
+	}
+	if got := paper.Priority(now, noc.PortWest, m); got != 12 { // 15-3
+		t.Fatalf("paper west priority = %d, want 12", got)
+	}
+	if got := paper.Priority(now, noc.PortNorth, m); got != 3 {
+		t.Fatalf("paper north priority = %d, want 3", got)
+	}
+
+	ours := NewRLInspiredAPU() // inverts N/S
+	if got := ours.Priority(now, noc.PortWest, m); got != 3 {
+		t.Fatalf("ours west priority = %d, want 3", got)
+	}
+	if got := ours.Priority(now, noc.PortNorth, m); got != 12 {
+		t.Fatalf("ours north priority = %d, want 12", got)
+	}
+}
+
+func TestAlgorithm2ClassBoost(t *testing.T) {
+	p := NewRLInspiredAPUPaper()
+	now := int64(100)
+	req := &noc.Message{ArrivalCycle: 95, HopCount: 3, Type: noc.TypeRequest}
+	resp := &noc.Message{ArrivalCycle: 95, HopCount: 3, Type: noc.TypeResponse}
+	coh := &noc.Message{ArrivalCycle: 95, HopCount: 3, Type: noc.TypeCoherence}
+	if p.Priority(now, noc.PortCore, resp) != 6 || p.Priority(now, noc.PortCore, coh) != 6 {
+		t.Fatal("response/coherence boost missing")
+	}
+	if p.Priority(now, noc.PortCore, req) != 3 {
+		t.Fatal("request should not be boosted")
+	}
+	deboost := &RLInspiredAPU{DefeatureMsgType: true}
+	if deboost.Priority(now, noc.PortCore, resp) != 3 {
+		t.Fatal("de-featured msgtype still boosts")
+	}
+}
+
+// TestAlgorithm2PriorityFits5Bits: the paper's Fig. 8 datapath is 5 bits
+// wide; every reachable priority must fit.
+func TestAlgorithm2PriorityFits5Bits(t *testing.T) {
+	variants := []*RLInspiredAPU{
+		NewRLInspiredAPU(),
+		NewRLInspiredAPUPaper(),
+		{DefeaturePort: true},
+		{DefeatureMsgType: true},
+	}
+	f := func(la8, hc8, typ8, port8 uint8) bool {
+		la := int64(la8) % 200
+		m := &noc.Message{
+			ArrivalCycle: 1000 - la,
+			HopCount:     int(hc8 % 30),
+			Type:         noc.MsgType(typ8 % 3),
+		}
+		port := noc.PortID(port8 % noc.MaxPorts)
+		for _, v := range variants {
+			pri := v.Priority(1000, port, m)
+			if pri < 0 || pri > 31 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlgorithm2StarvationWins: once a message crosses the starvation
+// threshold with a saturated counter it beats any non-starved candidate.
+func TestAlgorithm2StarvationWins(t *testing.T) {
+	p := NewRLInspiredAPU()
+	ctx := &noc.ArbContext{Cycle: 1000}
+	starved := noc.Candidate{Port: noc.PortCore, Msg: &noc.Message{
+		ArrivalCycle: 0, HopCount: 0, Type: noc.TypeRequest, // la saturates at 31
+	}}
+	fresh := noc.Candidate{Port: noc.PortWest, Msg: &noc.Message{
+		ArrivalCycle: 999, HopCount: 15, Type: noc.TypeCoherence, // max boosted: 30
+	}}
+	if got := p.Select(ctx, []noc.Candidate{fresh, starved}); got != 1 {
+		t.Fatalf("saturated starved message lost arbitration (got %d)", got)
+	}
+}
+
+func TestNaiveLatencyArbiterPicksNewest(t *testing.T) {
+	p := NaiveLatencyArbiter{}
+	ctx := &noc.ArbContext{Cycle: 100}
+	cands := []noc.Candidate{
+		{Msg: &noc.Message{ArrivalCycle: 10}},
+		{Msg: &noc.Message{ArrivalCycle: 90}},
+		{Msg: &noc.Message{ArrivalCycle: 50}},
+	}
+	if got := p.Select(ctx, cands); got != 1 {
+		t.Fatalf("naive arbiter picked %d, want newest (1)", got)
+	}
+}
+
+func TestHeatmapShape(t *testing.T) {
+	spec := MeshSpec(3)
+	agent := NewAgent(spec, AgentConfig{Hidden: 15, Seed: 1})
+	h := NewHeatmap(spec, agent.Net())
+	if len(h.Abs) != 4 || len(h.Abs[0]) != 15 {
+		t.Fatalf("heatmap shape %dx%d, want 4x15", len(h.Abs), len(h.Abs[0]))
+	}
+	if len(h.RowLabels) != 4 || len(h.ColLabels) != 15 {
+		t.Fatalf("labels %d/%d", len(h.RowLabels), len(h.ColLabels))
+	}
+	ranked := h.RankedRows()
+	if len(ranked) != 4 {
+		t.Fatalf("ranked rows = %v", ranked)
+	}
+	for i := 1; i < len(ranked); i++ {
+		if h.RowMean(ranked[i-1]) < h.RowMean(ranked[i]) {
+			t.Fatal("RankedRows not sorted descending")
+		}
+	}
+}
+
+func TestHeatmapPortSignedMean(t *testing.T) {
+	spec := MeshSpec(1)
+	agent := NewAgent(spec, AgentConfig{Hidden: 4, Seed: 2})
+	// Force the first-layer weights of the west column's hop-count input.
+	l := agent.Net().Layers[0]
+	fw := spec.Features.Width()
+	westSlot := spec.Slot(noc.PortWest, 0)
+	hopIdx := westSlot*fw + 3 // hop count is feature 3 of MeshFeatures
+	for j := 0; j < l.Out; j++ {
+		l.W[j*l.In+hopIdx] = -2
+	}
+	h := NewHeatmap(spec, agent.Net())
+	if got := h.PortSignedMean(3, "west"); got != -2 {
+		t.Fatalf("west hop signed mean = %v, want -2", got)
+	}
+}
+
+// TestAgentLearnsOldestPreference runs a short training and checks the agent
+// beats random chance at selecting the oldest message — the sanity property
+// behind the Fig. 4/5 results.
+func TestAgentLearnsOldestPreference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	cfg := MeshTrainConfig{
+		Width: 4, Height: 4, Epochs: 20, EpochCycles: 1000, Seed: 3,
+	}
+	tr := TrainMesh(cfg)
+	tr.Agent.Freeze()
+
+	// Shadow-evaluate: fraction of decisions picking the oldest candidate.
+	hits, total := 0, 0
+	probe := policyFunc(func(ctx *noc.ArbContext, cands []noc.Candidate) int {
+		choice := tr.Agent.Select(ctx, cands)
+		oldest := 0
+		for i, c := range cands {
+			if c.Msg.InjectCycle < cands[oldest].Msg.InjectCycle {
+				oldest = i
+			}
+		}
+		total++
+		if cands[choice].Msg.InjectCycle == cands[oldest].Msg.InjectCycle {
+			hits++
+		}
+		return choice
+	})
+	EvaluateMeshPolicy(cfg, probe, 500, 3000)
+	if total == 0 {
+		t.Fatal("no contended arbitrations during evaluation")
+	}
+	acc := float64(hits) / float64(total)
+	if acc < 0.55 {
+		t.Fatalf("trained agent oldest-pick accuracy %.2f; want > 0.55 (random is ~0.5)", acc)
+	}
+}
+
+// policyFunc adapts a function to noc.Policy.
+type policyFunc func(*noc.ArbContext, []noc.Candidate) int
+
+func (policyFunc) Name() string { return "func" }
+func (f policyFunc) Select(ctx *noc.ArbContext, cands []noc.Candidate) int {
+	return f(ctx, cands)
+}
+
+func TestAgentEpsilonSchedule(t *testing.T) {
+	spec := MeshSpec(3)
+	a := NewAgent(spec, AgentConfig{
+		Hidden: 8, Seed: 1,
+		EpsStart: 0.5, EpsDecayCycles: 100,
+		DQL: rl.DQLConfig{Epsilon: 0.01},
+	})
+	if got := a.Epsilon(); got != 0.5 {
+		t.Fatalf("initial epsilon = %v, want 0.5", got)
+	}
+	a.cyclesSeen = 50
+	mid := a.Epsilon()
+	if mid <= 0.01 || mid >= 0.5 {
+		t.Fatalf("mid epsilon = %v, want in (0.01, 0.5)", mid)
+	}
+	a.cyclesSeen = 1000
+	if got := a.Epsilon(); got != 0.01 {
+		t.Fatalf("floor epsilon = %v, want 0.01", got)
+	}
+}
+
+func TestAgentExperienceWiring(t *testing.T) {
+	net, _ := testNetwork(t)
+	spec := MeshSpec(3)
+	a := NewAgent(spec, AgentConfig{Hidden: 8, Seed: 1})
+	ctx := &noc.ArbContext{Net: net, Router: net.RouterAt(1, 1), Out: noc.PortEast, Cycle: 50}
+	cands := []noc.Candidate{
+		{Port: noc.PortCore, VC: 0, Msg: &noc.Message{SizeFlits: 1, InjectCycle: 1, ArrivalCycle: 40}},
+		{Port: noc.PortWest, VC: 1, Msg: &noc.Message{SizeFlits: 1, InjectCycle: 5, ArrivalCycle: 45}},
+	}
+	if n := a.DQL.Replay.Len(); n != 0 {
+		t.Fatalf("replay pre-populated: %d", n)
+	}
+	a.Select(ctx, cands)
+	// First decision at a site leaves a pending experience, nothing observed.
+	if n := a.DQL.Replay.Len(); n != 0 {
+		t.Fatalf("replay after first decision = %d, want 0", n)
+	}
+	ctx.Cycle = 51
+	a.Select(ctx, cands)
+	if n := a.DQL.Replay.Len(); n != 1 {
+		t.Fatalf("replay after second decision = %d, want 1", n)
+	}
+	a.FlushPending()
+	if n := a.DQL.Replay.Len(); n != 2 {
+		t.Fatalf("replay after flush = %d, want 2", n)
+	}
+}
+
+func TestFreezeStopsLearning(t *testing.T) {
+	net, _ := testNetwork(t)
+	spec := MeshSpec(3)
+	a := NewAgent(spec, AgentConfig{Hidden: 8, Seed: 1})
+	a.Freeze()
+	if a.Training {
+		t.Fatal("Freeze left Training true")
+	}
+	ctx := &noc.ArbContext{Net: net, Router: net.RouterAt(0, 0), Out: noc.PortEast, Cycle: 9}
+	cands := []noc.Candidate{
+		{Port: noc.PortCore, VC: 0, Msg: &noc.Message{SizeFlits: 1}},
+		{Port: noc.PortSouth, VC: 0, Msg: &noc.Message{SizeFlits: 1}},
+	}
+	a.Select(ctx, cands)
+	a.Select(ctx, cands)
+	if a.DQL.Replay.Len() != 0 {
+		t.Fatal("frozen agent recorded experiences")
+	}
+	if a.DQL.Steps() != 0 {
+		t.Fatal("frozen agent trained")
+	}
+}
+
+func TestHillClimbFindsLocalAge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	cfg := MeshTrainConfig{
+		Width: 4, Height: 4, Epochs: 4, EpochCycles: 600, Seed: 5,
+	}
+	hc := HillClimb(cfg, nil, 2)
+	if len(hc.Steps) == 0 {
+		t.Fatal("hill climbing made no steps")
+	}
+	// Round one must have tried all four mesh features.
+	if len(hc.Steps[0].Tried) != 4 {
+		t.Fatalf("round one tried %d features, want 4", len(hc.Steps[0].Tried))
+	}
+	if len(hc.Best) == 0 || hc.BestLatency <= 0 {
+		t.Fatalf("bad result: %+v", hc)
+	}
+}
+
+func TestTrainResultFinalLatency(t *testing.T) {
+	r := &TrainResult{Curve: []float64{100, 80, 60, 40, 20, 10, 10, 10}}
+	if got := r.FinalLatency(); got != 10 {
+		t.Fatalf("FinalLatency = %v, want 10 (mean of last quarter)", got)
+	}
+	empty := &TrainResult{}
+	if empty.FinalLatency() != 0 {
+		t.Fatal("empty curve FinalLatency != 0")
+	}
+}
+
+func TestBoostClass(t *testing.T) {
+	if !BoostClass(&noc.Message{Type: noc.TypeResponse}) ||
+		!BoostClass(&noc.Message{Type: noc.TypeCoherence}) {
+		t.Fatal("responses and coherence must be boosted")
+	}
+	if BoostClass(&noc.Message{Type: noc.TypeRequest}) {
+		t.Fatal("requests must not be boosted")
+	}
+}
+
+func TestSelectMaxRotatingTieBreak(t *testing.T) {
+	cands := []noc.Candidate{
+		{Msg: &noc.Message{HopCount: 5}},
+		{Msg: &noc.Message{HopCount: 5}},
+		{Msg: &noc.Message{HopCount: 4}},
+	}
+	pri := func(c noc.Candidate) int { return c.Msg.HopCount }
+	// At cycle 0 the scan starts at 0: the first tied max wins.
+	if got := selectMax(0, cands, pri); got != 0 {
+		t.Fatalf("cycle 0 tie-break = %d, want 0", got)
+	}
+	// At cycle 1 the scan starts at 1: the other tied max wins.
+	if got := selectMax(1, cands, pri); got != 1 {
+		t.Fatalf("cycle 1 tie-break = %d, want 1", got)
+	}
+	// The lower-priority candidate never wins.
+	for now := int64(0); now < 9; now++ {
+		if got := selectMax(now, cands, pri); got == 2 {
+			t.Fatal("lower-priority candidate won a tie-break")
+		}
+	}
+}
+
+var _ = rand.Int // keep math/rand imported for future tests
+
+func TestFootnote1CoreBonus(t *testing.T) {
+	p := NewRLInspiredMesh4x4()
+	p.CoreBonus = 8
+	now := int64(100)
+	m := &noc.Message{ArrivalCycle: 95, HopCount: 1} // base priority 10+2 = 12
+	if got := p.PriorityAt(now, noc.PortCore, m); got != 20 {
+		t.Fatalf("core priority = %d, want 20", got)
+	}
+	if got := p.PriorityAt(now, noc.PortWest, m); got != 12 {
+		t.Fatalf("west priority = %d, want 12", got)
+	}
+	// Without the bonus, ports are symmetric.
+	plain := NewRLInspiredMesh4x4()
+	if plain.PriorityAt(now, noc.PortCore, m) != plain.PriorityAt(now, noc.PortEast, m) {
+		t.Fatal("default policy must be port-symmetric")
+	}
+}

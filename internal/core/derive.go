@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mlnoc/internal/noc"
+)
+
+// This file implements a first cut at the gap the paper's conclusion calls
+// out as future work: going from the trained network to an implementable
+// algorithm automatically. "The current state of the art in ML does not
+// provide an automatic method or process to go from a trained NN to an
+// implementable algorithm" (Section 3.2) — the heuristics here mechanize the
+// two specific readings the paper's architects performed by hand:
+//
+//  1. Fig. 4: compare the local-age and hop-count row magnitudes and turn
+//     their ratio into the shift amounts of the mesh priority function.
+//  2. Fig. 7 / Section 4.6: read the per-port signs of the hop-count row
+//     (against the output-layer sign) and pick the port pair whose hop
+//     priority should descend.
+//
+// They are deliberately simple — the point is to reproduce the paper's two
+// derivations from their stated evidence, not to claim general NN
+// distillation.
+
+// Derivation reports how a policy was derived from a heatmap.
+type Derivation struct {
+	// LARow and HCRow are the heatmap rows used.
+	LARow, HCRow int
+	// LAWeight and HCWeight are the mean |w| of those rows.
+	LAWeight, HCWeight float64
+	// LAShift and HCShift are the derived shifts.
+	LAShift, HCShift uint
+	// InvertNorthSouth is the derived APU port rule (APU derivations only).
+	InvertNorthSouth bool
+	// Notes explains the decision in the paper's vocabulary.
+	Notes string
+}
+
+// featureRow locates a feature's row in the heatmap by label; one-hot
+// features match their first element.
+func featureRow(h *Heatmap, label string) (int, error) {
+	for i, l := range h.RowLabels {
+		if l == label {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("core: heatmap has no %q row", label)
+}
+
+// DeriveMeshPolicy converts a trained mesh agent's heatmap into the paper's
+// Section 3.2 priority function: the relative magnitude of the local-age and
+// hop-count rows sets the shift amounts, exactly the reading that produced
+// (la<<1)+(hc<<1) on the 4x4 mesh and la+(hc<<2) on the 8x8 mesh.
+func DeriveMeshPolicy(h *Heatmap) (*RLInspiredMesh, *Derivation, error) {
+	laRow, err := featureRow(h, FeatLocalAge.String())
+	if err != nil {
+		return nil, nil, err
+	}
+	hcRow, err := featureRow(h, FeatHopCount.String())
+	if err != nil {
+		return nil, nil, err
+	}
+	d := &Derivation{
+		LARow: laRow, HCRow: hcRow,
+		LAWeight: h.RowMean(laRow), HCWeight: h.RowMean(hcRow),
+	}
+	if d.LAWeight <= 0 || d.HCWeight <= 0 {
+		return nil, nil, fmt.Errorf("core: degenerate heatmap (zero feature rows)")
+	}
+	// Shift split from the magnitude ratio: comparable weights share the
+	// shift budget; a 2x dominant feature takes all of it.
+	ratio := math.Log2(d.HCWeight / d.LAWeight)
+	switch {
+	case ratio >= 1: // hop count clearly dominant (the paper's 8x8 case)
+		d.LAShift, d.HCShift = 0, 2
+		d.Notes = "hop count dominant: global age is better approximated through hop count"
+	case ratio <= -1: // local age clearly dominant
+		d.LAShift, d.HCShift = 2, 0
+		d.Notes = "local age dominant: waiting time drives priority"
+	default: // comparable (the paper's 4x4 case)
+		d.LAShift, d.HCShift = 1, 1
+		d.Notes = "local age and hop count carry similar weight"
+	}
+	p := &RLInspiredMesh{
+		LAShift: d.LAShift, HCShift: d.HCShift, HopBits: 4,
+		label: fmt.Sprintf("rl-derived(la<<%d,hc<<%d)", d.LAShift, d.HCShift),
+	}
+	return p, d, nil
+}
+
+// DeriveAPUPortRule reads the per-port hop-count signs of a trained APU
+// agent's heatmap — the Section 4.6 analysis — and returns the Algorithm 2
+// variant with the hop inversion on the port pair whose signed weights are
+// more negative (after orienting by the output-layer sign).
+func DeriveAPUPortRule(h *Heatmap) (*RLInspiredAPU, *Derivation, error) {
+	hcRow, err := featureRow(h, FeatHopCount.String())
+	if err != nil {
+		return nil, nil, err
+	}
+	d := &Derivation{HCRow: hcRow, HCWeight: h.RowMean(hcRow)}
+	we := h.PortSignedMean(hcRow, noc.PortWest.String()) +
+		h.PortSignedMean(hcRow, noc.PortEast.String())
+	ns := h.PortSignedMean(hcRow, noc.PortNorth.String()) +
+		h.PortSignedMean(hcRow, noc.PortSouth.String())
+	// With a negative output layer the hidden-weight signs read inverted
+	// (Section 4.6 checks this before interpreting).
+	if h.OutputWeightMean < 0 {
+		we, ns = -we, -ns
+	}
+	p := &RLInspiredAPU{}
+	if ns < we {
+		p.InvertNorthSouth = true
+		d.InvertNorthSouth = true
+		d.Notes = "hop-count weights more negative on N/S: prioritize smaller hop counts there"
+	} else {
+		d.Notes = "hop-count weights more negative on W/E: prioritize smaller hop counts there (the paper's rule)"
+	}
+	return p, d, nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"mlnoc/internal/noc"
+)
+
+// MultiAgent implements the variant the paper sketches in Section 3.1.1:
+// "designers can use multiple agents for training, where each agent is
+// trained with only a fixed subset of routers". It partitions the routers
+// among several independent Agents (each with its own network weights,
+// replay memory and exploration state) and dispatches every arbitration to
+// the agent owning the router.
+//
+// Partitioning trades generality for specialization: each agent sees a
+// narrower state distribution (e.g. only edge routers, or only one
+// quadrant's traffic) at the cost of fewer training samples per agent.
+type MultiAgent struct {
+	Agents []*Agent
+	// Assign maps a router to the index of the agent that owns it. It must
+	// be a pure function of the router.
+	Assign func(r *noc.Router) int
+}
+
+// NewMultiAgent builds n agents from the shared spec and config (seeds are
+// offset per agent) with the given router assignment.
+func NewMultiAgent(spec *StateSpec, cfg AgentConfig, n int, assign func(r *noc.Router) int) *MultiAgent {
+	if n <= 0 {
+		panic("core: MultiAgent needs at least one agent")
+	}
+	if assign == nil {
+		panic("core: MultiAgent needs an assignment function")
+	}
+	m := &MultiAgent{Assign: assign}
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*7919
+		m.Agents = append(m.Agents, NewAgent(spec, c))
+	}
+	return m
+}
+
+// QuadrantAssign partitions a width x height mesh into 2x2 quadrants,
+// returning an assignment function mapping routers to agents 0..3.
+func QuadrantAssign(width, height int) func(r *noc.Router) int {
+	return func(r *noc.Router) int {
+		q := 0
+		if r.Coord.X >= width/2 {
+			q++
+		}
+		if r.Coord.Y >= height/2 {
+			q += 2
+		}
+		return q
+	}
+}
+
+// Name implements noc.Policy.
+func (m *MultiAgent) Name() string {
+	return fmt.Sprintf("rl-multi-agent(%d)", len(m.Agents))
+}
+
+func (m *MultiAgent) owner(r *noc.Router) *Agent {
+	i := m.Assign(r)
+	if i < 0 || i >= len(m.Agents) {
+		panic(fmt.Sprintf("core: router %v assigned to agent %d of %d", r, i, len(m.Agents)))
+	}
+	return m.Agents[i]
+}
+
+// Select implements noc.Policy by dispatching to the owning agent.
+func (m *MultiAgent) Select(ctx *noc.ArbContext, cands []noc.Candidate) int {
+	return m.owner(ctx.Router).Select(ctx, cands)
+}
+
+// OnCycle advances every agent's reward tracker and training; install as the
+// network OnCycle hook.
+func (m *MultiAgent) OnCycle(n *noc.Network) {
+	for _, a := range m.Agents {
+		a.OnCycle(n)
+	}
+}
+
+// Freeze switches every agent to pure inference.
+func (m *MultiAgent) Freeze() {
+	for _, a := range m.Agents {
+		a.Freeze()
+	}
+}
+
+// Decisions sums the contended arbitrations across agents.
+func (m *MultiAgent) Decisions() int64 {
+	var total int64
+	for _, a := range m.Agents {
+		total += a.Decisions()
+	}
+	return total
+}

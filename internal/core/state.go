@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"mlnoc/internal/noc"
+)
+
+// StateSpec describes the layout of the router state vector (Section 4.4):
+// for each of the spec's ports and each virtual channel, one block of
+// feature elements. Buffers with no competing message — and ports a given
+// router does not have — are zeroed, which is the paper's padding rule for
+// sharing one agent across routers of different radix.
+type StateSpec struct {
+	// Ports lists the ports contributing state, in heatmap column order.
+	Ports []noc.PortID
+	// VCs is the number of virtual channels per port.
+	VCs int
+	// Features is the per-message feature set.
+	Features FeatureSet
+	// Norm holds the feature normalization caps.
+	Norm NormConfig
+
+	portIndex [noc.MaxPorts]int // PortID -> dense column, -1 if absent
+}
+
+// NewStateSpec builds a state spec over the given ports.
+func NewStateSpec(ports []noc.PortID, vcs int, feats FeatureSet, norm NormConfig) *StateSpec {
+	if len(ports) == 0 || vcs <= 0 || len(feats) == 0 {
+		panic("core: state spec needs ports, VCs and features")
+	}
+	s := &StateSpec{Ports: ports, VCs: vcs, Features: feats, Norm: norm}
+	for i := range s.portIndex {
+		s.portIndex[i] = -1
+	}
+	for i, p := range ports {
+		s.portIndex[p] = i
+	}
+	return s
+}
+
+// MeshSpec returns the Section 3.2 synthetic-traffic spec: five ports (core
+// plus the four directions), the four mesh features, and the given VC count.
+// With 3 VCs this yields the paper's 60-input agent.
+func MeshSpec(vcs int) *StateSpec {
+	return NewStateSpec(
+		[]noc.PortID{noc.PortCore, noc.PortNorth, noc.PortSouth, noc.PortWest, noc.PortEast},
+		vcs, MeshFeatures, DefaultNorm())
+}
+
+// APUSpec returns the Section 4 APU spec: six ports (core, memory and the
+// four directions), seven VC classes and the full 12-element feature set,
+// yielding the paper's 504-input agent.
+func APUSpec() *StateSpec {
+	return NewStateSpec(
+		[]noc.PortID{noc.PortCore, noc.PortMem, noc.PortNorth, noc.PortSouth, noc.PortWest, noc.PortEast},
+		7, AllFeatures, DefaultNorm())
+}
+
+// InputSize returns the state vector width: ports x VCs x feature elements.
+func (s *StateSpec) InputSize() int { return len(s.Ports) * s.VCs * s.Features.Width() }
+
+// ActionSize returns the number of actions: one Q-value per (port, VC)
+// input-buffer slot.
+func (s *StateSpec) ActionSize() int { return len(s.Ports) * s.VCs }
+
+// Slot returns the action index of input buffer (port, vc). It panics if the
+// port is not part of the spec.
+func (s *StateSpec) Slot(port noc.PortID, vc int) int {
+	col := s.portIndex[port]
+	if col < 0 {
+		panic(fmt.Sprintf("core: port %s not in state spec", port))
+	}
+	return col*s.VCs + vc
+}
+
+// SlotPort returns the (port, vc) of an action index.
+func (s *StateSpec) SlotPort(slot int) (noc.PortID, int) {
+	return s.Ports[slot/s.VCs], slot % s.VCs
+}
+
+// BuildState assembles the state vector for one arbitration: the features of
+// every candidate message, placed at its buffer's block, all other elements
+// zero. The result is freshly allocated (experiences retain state slices).
+func (s *StateSpec) BuildState(net *noc.Network, now int64, cands []noc.Candidate) []float64 {
+	state := make([]float64, s.InputSize())
+	fw := s.Features.Width()
+	for _, c := range cands {
+		slot := s.Slot(c.Port, c.VC)
+		s.Features.Extract(state[slot*fw:(slot+1)*fw], &s.Norm, net, now, c.Msg)
+	}
+	return state
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mlnoc/internal/viz"
+)
+
+// CSV export for every experiment result, for downstream plotting. Each
+// method returns the raw numbers of the corresponding rendered table.
+
+// CSV exports the Fig. 5 panel.
+func (r *MeshStudyResult) CSV() string {
+	m := make([][]float64, len(r.Policies))
+	for i := range r.Policies {
+		m[i] = []float64{r.AvgLatency[i], r.Normalized[i]}
+	}
+	return viz.MatrixCSV("policy", r.Policies, []string{"avg_latency", "normalized"}, m)
+}
+
+// HeatmapCSV exports the trained agent's weight heatmap (Fig. 4 / Fig. 7).
+func (r *MeshStudyResult) HeatmapCSV() string {
+	return viz.HeatmapCSV(r.Heatmap.RowLabels, r.Heatmap.ColLabels, r.Heatmap.Abs)
+}
+
+// CSVAvg exports the Fig. 9 matrix.
+func (r *ExecSweepResult) CSVAvg() string {
+	return viz.MatrixCSV("workload", r.Workloads, r.Policies, r.NormAvg)
+}
+
+// CSVTail exports the Fig. 10 matrix.
+func (r *ExecSweepResult) CSVTail() string {
+	return viz.MatrixCSV("workload", r.Workloads, r.Policies, r.NormTail)
+}
+
+// CSV exports the Fig. 11 matrix.
+func (r *MixResult) CSV() string {
+	return viz.MatrixCSV("mix", r.Mixes, r.Policies, r.NormAvg)
+}
+
+// CSV exports the training-curve series (Figs. 12/13): one row per epoch.
+func (r *CurveResult) CSV() string {
+	n := 0
+	for _, c := range r.Curves {
+		if len(c) > n {
+			n = len(c)
+		}
+	}
+	labels := make([]string, n)
+	m := make([][]float64, n)
+	for e := 0; e < n; e++ {
+		labels[e] = fmt.Sprintf("%d", e+1)
+		row := make([]float64, len(r.Curves))
+		for s, c := range r.Curves {
+			if e < len(c) {
+				row[s] = c[e]
+			}
+		}
+		m[e] = row
+	}
+	return viz.MatrixCSV("epoch", labels, r.Names, m)
+}
+
+// CSV exports the Table 3 rows.
+func (r *Table3Result) CSV() string {
+	names := make([]string, len(r.Reports))
+	m := make([][]float64, len(r.Reports))
+	for i, rep := range r.Reports {
+		names[i] = rep.Name
+		m[i] = []float64{rep.LatencyNS, rep.AreaMM2, rep.PowerMW, float64(rep.Gates)}
+	}
+	return viz.MatrixCSV("design", names,
+		[]string{"latency_ns", "area_mm2", "power_mw", "gates"}, m)
+}
+
+// CSV exports the Section 5.1 ablation matrix.
+func (r *AblationResult) CSV() string {
+	return viz.MatrixCSV("workload", r.Workloads, r.Variants, r.Norm)
+}
+
+// CSV exports the fairness table.
+func (r *FairnessResult) CSV() string {
+	m := make([][]float64, len(r.Policies))
+	for i := range r.Policies {
+		m[i] = []float64{r.Avg[i], r.P99[i], r.Max[i], r.Jain[i]}
+	}
+	return viz.MatrixCSV("policy", r.Policies,
+		[]string{"avg_latency", "p99_source_latency", "max_latency", "jain"}, m)
+}
+
+// CSV exports the flit-level cross-validation table.
+func (r *FlitCheckResult) CSV() string {
+	m := make([][]float64, len(r.Policies))
+	for i := range r.Policies {
+		m[i] = []float64{r.AvgLatency[i], r.Normalized[i], float64(r.Delivered[i])}
+	}
+	return viz.MatrixCSV("policy", r.Policies,
+		[]string{"avg_latency", "normalized", "packets"}, m)
+}
+
+// CSV exports the starvation comparison.
+func (r *StarvationResult) CSV() string {
+	m := make([][]float64, len(r.Policies))
+	for i := range r.Policies {
+		m[i] = []float64{
+			float64(r.MaxQueuedLocalAge[i]), r.MaxDeliveredLatency[i], r.AvgDeliveredLatency[i],
+		}
+	}
+	return viz.MatrixCSV("policy", r.Policies,
+		[]string{"max_queued_local_age", "max_delivered_latency", "avg_latency"}, m)
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFor runs f(0..n-1) on up to GOMAXPROCS worker goroutines and waits
+// for completion. Every experiment cell builds its own fully independent
+// simulator state (policies are created per cell, the frozen NN is cloned),
+// so cells can execute concurrently without changing any result.
+func parallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

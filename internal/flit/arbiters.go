@@ -1,0 +1,115 @@
+package flit
+
+import (
+	"math/rand"
+
+	"mlnoc/internal/core"
+	"mlnoc/internal/noc"
+)
+
+// Switch-allocation arbiters for the flit-level engine. They mirror the
+// message-level policies in internal/arb and internal/core, acting on the
+// head packet's descriptor.
+
+// FIFO grants the packet that arrived at the router earliest.
+type FIFO struct{}
+
+// Name implements Arbiter.
+func (FIFO) Name() string { return "fifo" }
+
+// Pick implements Arbiter.
+func (FIFO) Pick(_ int64, _ int, _ noc.PortID, cands []Candidate) int {
+	best := 0
+	for i, c := range cands[1:] {
+		if c.Msg.ArrivalCycle < cands[best].Msg.ArrivalCycle {
+			best = i + 1
+		}
+	}
+	return best
+}
+
+// GlobalAge grants the packet that entered the network earliest.
+type GlobalAge struct{}
+
+// Name implements Arbiter.
+func (GlobalAge) Name() string { return "global-age" }
+
+// Pick implements Arbiter.
+func (GlobalAge) Pick(_ int64, _ int, _ noc.PortID, cands []Candidate) int {
+	best := 0
+	for i, c := range cands[1:] {
+		if c.Msg.InjectCycle < cands[best].Msg.InjectCycle {
+			best = i + 1
+		}
+	}
+	return best
+}
+
+// RoundRobin rotates a per-(router, output) pointer over input-buffer slots.
+type RoundRobin struct {
+	vcs int
+	ptr map[int]int // routerID*MaxPorts+out -> pointer
+}
+
+// NewRoundRobin creates a round-robin switch allocator for a mesh with the
+// given VC count.
+func NewRoundRobin(vcs int) *RoundRobin {
+	return &RoundRobin{vcs: vcs, ptr: make(map[int]int)}
+}
+
+// Name implements Arbiter.
+func (p *RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Arbiter.
+func (p *RoundRobin) Pick(_ int64, routerID int, out noc.PortID, cands []Candidate) int {
+	key := routerID*noc.MaxPorts + int(out)
+	nslots := noc.MaxPorts * p.vcs
+	ptr := p.ptr[key]
+	best, bestDist := 0, nslots+1
+	for i, c := range cands {
+		slot := int(c.Port)*p.vcs + c.VC
+		d := (slot - ptr + nslots) % nslots
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	p.ptr[key] = (int(cands[best].Port)*p.vcs + cands[best].VC + 1) % nslots
+	return best
+}
+
+// Random grants uniformly at random.
+type Random struct{ Rng *rand.Rand }
+
+// Name implements Arbiter.
+func (Random) Name() string { return "random" }
+
+// Pick implements Arbiter.
+func (p Random) Pick(_ int64, _ int, _ noc.PortID, cands []Candidate) int {
+	return p.Rng.Intn(len(cands))
+}
+
+// RLInspired applies the paper's Section 3.2 mesh priority function
+// (local age and hop count, shifted and added) at switch allocation.
+type RLInspired struct{ P *core.RLInspiredMesh }
+
+// NewRLInspired wraps a mesh RL-inspired priority (e.g.
+// core.NewRLInspiredMesh8x8()).
+func NewRLInspired(p *core.RLInspiredMesh) RLInspired { return RLInspired{P: p} }
+
+// Name implements Arbiter.
+func (a RLInspired) Name() string { return a.P.Name() }
+
+// Pick implements Arbiter.
+func (a RLInspired) Pick(now int64, _ int, _ noc.PortID, cands []Candidate) int {
+	best, bestP := 0, a.P.Priority(now, cands[0].Msg)
+	n := len(cands)
+	start := int(now % int64(n))
+	best, bestP = start, a.P.Priority(now, cands[start].Msg)
+	for k := 1; k < n; k++ {
+		i := (start + k) % n
+		if p := a.P.Priority(now, cands[i].Msg); p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return best
+}

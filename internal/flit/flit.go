@@ -1,0 +1,81 @@
+// Package flit implements a flit-level virtual-channel wormhole NoC engine —
+// the granularity of the Garnet model the paper builds on — as a validation
+// substrate for the message-level engine in internal/noc.
+//
+// Packets are split into head/body/tail flits that traverse the mesh through
+// per-VC flit buffers with credit-based flow control. A packet's flits can
+// span several routers at once (true wormhole), so head-of-line blocking and
+// congestion trees form exactly as in a hardware router. Output-port
+// arbitration happens in switch allocation, once per flit per cycle, which is
+// where the Arbiter hook sits; packet-level arbiters (FIFO, global-age, the
+// paper's RL-inspired priorities) act on the head packet's descriptor.
+//
+// The engine's purpose is cross-validation: the repository's headline
+// experiments run on the message-level engine, and the flit-level tests
+// confirm the policy orderings (e.g. global-age < FIFO < round-robin in
+// latency under contention) hold at this granularity too.
+package flit
+
+import (
+	"fmt"
+
+	"mlnoc/internal/noc"
+)
+
+// Kind is a flit's position within its packet.
+type Kind uint8
+
+// Flit kinds.
+const (
+	Head Kind = iota
+	Body
+	Tail
+	// HeadTail is a single-flit packet.
+	HeadTail
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Head:
+		return "head"
+	case Body:
+		return "body"
+	case Tail:
+		return "tail"
+	case HeadTail:
+		return "head-tail"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsHead reports whether the flit opens a packet.
+func (k Kind) IsHead() bool { return k == Head || k == HeadTail }
+
+// IsTail reports whether the flit closes a packet.
+func (k Kind) IsTail() bool { return k == Tail || k == HeadTail }
+
+// Flit is one link-width unit of a packet.
+type Flit struct {
+	Kind Kind
+	// Seq is the flit's index within its packet (0 = head).
+	Seq int
+	// Pkt is the shared packet descriptor (reusing the message-level
+	// descriptor so packet-level arbiters work unchanged).
+	Pkt *noc.Message
+}
+
+// Candidate is one input virtual channel competing in switch allocation.
+type Candidate struct {
+	Port noc.PortID
+	VC   int
+	// Msg is the descriptor of the packet whose flit is at the buffer head.
+	Msg *noc.Message
+}
+
+// Arbiter selects the winning input VC for an output port during switch
+// allocation. It is invoked only with two or more candidates.
+type Arbiter interface {
+	Name() string
+	Pick(now int64, routerID int, out noc.PortID, cands []Candidate) int
+}

@@ -1,0 +1,387 @@
+// Package nn implements the small multi-layer perceptrons used by the deep
+// Q-learning agent: dense layers with sigmoid/ReLU/tanh activations, plain
+// SGD backpropagation, Xavier initialization, weight introspection for the
+// paper's heatmap analysis, and gob serialization.
+//
+// The paper's agents are deliberately shallow (one hidden layer) so their
+// weights can be interpreted by a human architect (Sections 3.2 and 4.6);
+// this package exposes exactly the weight statistics that analysis needs.
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	Identity Activation = iota
+	Sigmoid
+	ReLU
+	Tanh
+	// LeakyReLU is max(x, 0.01*x). Q-value heads use it instead of plain
+	// ReLU: with bootstrapped targets, an output neuron whose pre-activation
+	// goes negative under plain ReLU receives zero gradient forever (the
+	// "dying ReLU" problem) and its Q-value can never recover.
+	LeakyReLU
+)
+
+// leakySlope is the negative-side slope of LeakyReLU.
+const leakySlope = 0.01
+
+// String implements fmt.Stringer.
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case Sigmoid:
+		return "sigmoid"
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	case LeakyReLU:
+		return "leaky-relu"
+	}
+	return fmt.Sprintf("Activation(%d)", int(a))
+}
+
+func (a Activation) apply(z float64) float64 {
+	switch a {
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-z))
+	case ReLU:
+		if z < 0 {
+			return 0
+		}
+		return z
+	case Tanh:
+		return math.Tanh(z)
+	case LeakyReLU:
+		if z < 0 {
+			return leakySlope * z
+		}
+		return z
+	}
+	return z
+}
+
+// derivFromOutput returns f'(z) expressed via the activation output y=f(z).
+func (a Activation) derivFromOutput(y float64) float64 {
+	switch a {
+	case Sigmoid:
+		return y * (1 - y)
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		return 1 - y*y
+	case LeakyReLU:
+		if y > 0 {
+			return 1
+		}
+		return leakySlope
+	}
+	return 1
+}
+
+// Layer is one dense layer: out = act(W*x + b) with W stored row-major
+// (W[j*In+i] is the weight from input i to neuron j).
+type Layer struct {
+	In, Out int
+	W       []float64
+	B       []float64
+	Act     Activation
+}
+
+// MLP is a feed-forward multi-layer perceptron trained with SGD. It is not
+// safe for concurrent use: Forward and the training methods share scratch
+// buffers.
+type MLP struct {
+	Layers []*Layer
+
+	// scratch: acts[0] is the input copy, acts[l+1] the output of layer l.
+	acts   [][]float64
+	deltas [][]float64
+}
+
+// New constructs an MLP with the given layer sizes (len >= 2) and one
+// activation per weight layer (len(acts) == len(sizes)-1), Xavier-initialized
+// from rng.
+func New(sizes []int, acts []Activation, rng *rand.Rand) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: need at least input and output sizes")
+	}
+	if len(acts) != len(sizes)-1 {
+		panic("nn: need one activation per layer")
+	}
+	m := &MLP{}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		if in <= 0 || out <= 0 {
+			panic("nn: layer sizes must be positive")
+		}
+		layer := &Layer{
+			In:  in,
+			Out: out,
+			W:   make([]float64, in*out),
+			B:   make([]float64, out),
+			Act: acts[l],
+		}
+		bound := math.Sqrt(6 / float64(in+out))
+		for i := range layer.W {
+			layer.W[i] = (rng.Float64()*2 - 1) * bound
+		}
+		m.Layers = append(m.Layers, layer)
+	}
+	m.allocScratch()
+	return m
+}
+
+func (m *MLP) allocScratch() {
+	m.acts = make([][]float64, len(m.Layers)+1)
+	m.deltas = make([][]float64, len(m.Layers))
+	m.acts[0] = make([]float64, m.Layers[0].In)
+	for l, layer := range m.Layers {
+		m.acts[l+1] = make([]float64, layer.Out)
+		m.deltas[l] = make([]float64, layer.Out)
+	}
+}
+
+// InputSize returns the width of the input layer.
+func (m *MLP) InputSize() int { return m.Layers[0].In }
+
+// OutputSize returns the width of the output layer.
+func (m *MLP) OutputSize() int { return m.Layers[len(m.Layers)-1].Out }
+
+// NumParams returns the total number of weights and biases.
+func (m *MLP) NumParams() int {
+	n := 0
+	for _, l := range m.Layers {
+		n += len(l.W) + len(l.B)
+	}
+	return n
+}
+
+// Forward runs inference. The returned slice is an internal buffer, valid
+// until the next Forward/training call; copy it to retain it.
+func (m *MLP) Forward(x []float64) []float64 {
+	if len(x) != m.Layers[0].In {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), m.Layers[0].In))
+	}
+	copy(m.acts[0], x)
+	for l, layer := range m.Layers {
+		in, out := m.acts[l], m.acts[l+1]
+		for j := 0; j < layer.Out; j++ {
+			row := layer.W[j*layer.In : (j+1)*layer.In]
+			z := layer.B[j]
+			for i, w := range row {
+				z += w * in[i]
+			}
+			out[j] = layer.Act.apply(z)
+		}
+	}
+	return m.acts[len(m.Layers)]
+}
+
+// Backprop performs one SGD step given dLoss/dOutput evaluated at the current
+// forward pass of x. It recomputes the forward pass internally.
+func (m *MLP) Backprop(x, outGrad []float64, lr float64) {
+	y := m.Forward(x)
+	last := len(m.Layers) - 1
+	outLayer := m.Layers[last]
+	for j := range m.deltas[last] {
+		m.deltas[last][j] = outGrad[j] * outLayer.Act.derivFromOutput(y[j])
+	}
+	// Propagate deltas backwards.
+	for l := last - 1; l >= 0; l-- {
+		layer, next := m.Layers[l], m.Layers[l+1]
+		outs := m.acts[l+1]
+		for j := 0; j < layer.Out; j++ {
+			var sum float64
+			for k := 0; k < next.Out; k++ {
+				sum += next.W[k*next.In+j] * m.deltas[l+1][k]
+			}
+			m.deltas[l][j] = sum * layer.Act.derivFromOutput(outs[j])
+		}
+	}
+	// Apply gradients.
+	for l, layer := range m.Layers {
+		in := m.acts[l]
+		for j := 0; j < layer.Out; j++ {
+			d := m.deltas[l][j]
+			if d == 0 {
+				continue
+			}
+			row := layer.W[j*layer.In : (j+1)*layer.In]
+			step := lr * d
+			for i := range row {
+				row[i] -= step * in[i]
+			}
+			layer.B[j] -= step
+		}
+	}
+}
+
+// TrainMSE performs one SGD step toward target under 0.5*sum((y-t)^2) loss
+// and returns the pre-step loss.
+func (m *MLP) TrainMSE(x, target []float64, lr float64) float64 {
+	y := m.Forward(x)
+	if len(target) != len(y) {
+		panic("nn: target size mismatch")
+	}
+	grad := make([]float64, len(y))
+	loss := 0.0
+	for j := range y {
+		e := y[j] - target[j]
+		grad[j] = e
+		loss += 0.5 * e * e
+	}
+	m.Backprop(x, grad, lr)
+	return loss
+}
+
+// TrainAction performs one Q-learning SGD step: only the selected action's
+// output is pushed toward target; all other outputs receive zero gradient.
+// It returns the pre-step squared error on the action.
+func (m *MLP) TrainAction(x []float64, action int, target, lr float64) float64 {
+	y := m.Forward(x)
+	if action < 0 || action >= len(y) {
+		panic(fmt.Sprintf("nn: action %d out of range %d", action, len(y)))
+	}
+	e := y[action] - target
+	grad := make([]float64, len(y))
+	grad[action] = e
+	m.Backprop(x, grad, lr)
+	return e * e
+}
+
+// CopyFrom copies all weights and biases from src, which must have an
+// identical architecture. Used to refresh the DQL target network.
+func (m *MLP) CopyFrom(src *MLP) {
+	if len(m.Layers) != len(src.Layers) {
+		panic("nn: CopyFrom architecture mismatch")
+	}
+	for l, layer := range m.Layers {
+		s := src.Layers[l]
+		if layer.In != s.In || layer.Out != s.Out {
+			panic("nn: CopyFrom layer shape mismatch")
+		}
+		copy(layer.W, s.W)
+		copy(layer.B, s.B)
+	}
+}
+
+// Clone returns a deep copy with fresh scratch buffers.
+func (m *MLP) Clone() *MLP {
+	c := &MLP{}
+	for _, l := range m.Layers {
+		nl := &Layer{In: l.In, Out: l.Out, Act: l.Act,
+			W: make([]float64, len(l.W)), B: make([]float64, len(l.B))}
+		copy(nl.W, l.W)
+		copy(nl.B, l.B)
+		c.Layers = append(c.Layers, nl)
+	}
+	c.allocScratch()
+	return c
+}
+
+// InputWeightAbsMean returns, for each input, the mean absolute first-layer
+// weight across all hidden neurons — the quantity visualized in the paper's
+// heatmaps (Figs. 4 and 7): darker pixels = larger mean |weight|.
+func (m *MLP) InputWeightAbsMean() []float64 {
+	l := m.Layers[0]
+	out := make([]float64, l.In)
+	for j := 0; j < l.Out; j++ {
+		row := l.W[j*l.In : (j+1)*l.In]
+		for i, w := range row {
+			out[i] += math.Abs(w)
+		}
+	}
+	for i := range out {
+		out[i] /= float64(l.Out)
+	}
+	return out
+}
+
+// InputWeightSignedMean returns the signed mean first-layer weight per input.
+// Section 4.6 uses the sign to discover that hop count is preferred large on
+// N/S ports but small on W/E ports.
+func (m *MLP) InputWeightSignedMean() []float64 {
+	l := m.Layers[0]
+	out := make([]float64, l.In)
+	for j := 0; j < l.Out; j++ {
+		row := l.W[j*l.In : (j+1)*l.In]
+		for i, w := range row {
+			out[i] += w
+		}
+	}
+	for i := range out {
+		out[i] /= float64(l.Out)
+	}
+	return out
+}
+
+// OutputWeightMean returns the mean of all final-layer weights. The paper
+// checks that output-layer weights are mostly positive before reading hidden
+// weight signs directly (Section 4.6).
+func (m *MLP) OutputWeightMean() float64 {
+	l := m.Layers[len(m.Layers)-1]
+	sum := 0.0
+	for _, w := range l.W {
+		sum += w
+	}
+	return sum / float64(len(l.W))
+}
+
+// mlpWire is the gob wire format.
+type mlpWire struct {
+	Sizes []int
+	Acts  []Activation
+	W     [][]float64
+	B     [][]float64
+}
+
+// Save writes the network weights to w in gob format.
+func (m *MLP) Save(w io.Writer) error {
+	wire := mlpWire{Sizes: []int{m.Layers[0].In}}
+	for _, l := range m.Layers {
+		wire.Sizes = append(wire.Sizes, l.Out)
+		wire.Acts = append(wire.Acts, l.Act)
+		wire.W = append(wire.W, l.W)
+		wire.B = append(wire.B, l.B)
+	}
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// Load reads a network previously written with Save.
+func Load(r io.Reader) (*MLP, error) {
+	var wire mlpWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("nn: load: %w", err)
+	}
+	if len(wire.Sizes) < 2 || len(wire.Acts) != len(wire.Sizes)-1 ||
+		len(wire.W) != len(wire.Acts) || len(wire.B) != len(wire.Acts) {
+		return nil, fmt.Errorf("nn: load: malformed network")
+	}
+	m := &MLP{}
+	for l := 0; l < len(wire.Acts); l++ {
+		in, out := wire.Sizes[l], wire.Sizes[l+1]
+		if len(wire.W[l]) != in*out || len(wire.B[l]) != out {
+			return nil, fmt.Errorf("nn: load: layer %d shape mismatch", l)
+		}
+		m.Layers = append(m.Layers, &Layer{
+			In: in, Out: out, Act: wire.Acts[l], W: wire.W[l], B: wire.B[l],
+		})
+	}
+	m.allocScratch()
+	return m, nil
+}

@@ -1,0 +1,136 @@
+// Package noc implements a cycle-driven, message-granularity network-on-chip
+// simulator: 2D-mesh topologies, routers with per-port virtual-channel input
+// buffers and credit-based backpressure, dimension-ordered (X-Y) routing,
+// multi-flit serialization, and a pluggable output-port arbitration policy.
+//
+// The simulator models the structures that NoC arbitration interacts with —
+// input-buffer queueing, output-port contention, multi-flit link occupancy and
+// backpressure — at the same granularity as the arbiters in the HPCA 2020
+// paper "Experiences with ML-Driven Design: A NoC Case Study": one arbitration
+// decision per output port per cycle, selecting among the head messages of the
+// competing input buffers (Algorithm 1 of the paper).
+package noc
+
+import "fmt"
+
+// MsgType is the protocol-level type of a message. The paper's Table 2 uses
+// three one-hot-encoded types: request, response and coherence.
+type MsgType uint8
+
+// Message types.
+const (
+	TypeRequest MsgType = iota
+	TypeResponse
+	TypeCoherence
+
+	NumMsgTypes = 3
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case TypeRequest:
+		return "request"
+	case TypeResponse:
+		return "response"
+	case TypeCoherence:
+		return "coherence"
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// DstType classifies the destination node of a message. The paper's Table 2
+// uses three one-hot-encoded destination types: core, cache and memory.
+type DstType uint8
+
+// Destination node types.
+const (
+	DstCore DstType = iota
+	DstCache
+	DstMemory
+
+	NumDstTypes = 3
+)
+
+// String implements fmt.Stringer.
+func (t DstType) String() string {
+	switch t {
+	case DstCore:
+		return "core"
+	case DstCache:
+		return "cache"
+	case DstMemory:
+		return "memory"
+	}
+	return fmt.Sprintf("DstType(%d)", uint8(t))
+}
+
+// Class identifies a message class. Each class travels in its own virtual
+// channel; the APU system of the paper uses seven classes (Section 4.1).
+type Class uint8
+
+// NodeID identifies an endpoint (core, cache, directory, ...) attached to a
+// router port.
+type NodeID int
+
+// Message is a network message. The simulator moves whole messages; a message
+// of SizeFlits flits occupies its granted output port for SizeFlits cycles
+// (serialization latency), which is the effect arbitration policies contend
+// with.
+//
+// Fields marked "dynamic" are updated by the simulator as the message moves.
+type Message struct {
+	ID    uint64
+	Src   NodeID
+	Dst   NodeID
+	Class Class
+	Type  MsgType
+	// DstKind is the type of the destination node, used as an arbitration
+	// feature (Table 2 "Destination type").
+	DstKind   DstType
+	SizeFlits int
+
+	// GenCycle is the cycle at which the message was generated (queued at its
+	// source node). Latency statistics are measured from generation, so
+	// source queueing under contention is included.
+	GenCycle int64
+
+	// InjectCycle is the cycle at which the message entered the network;
+	// global age = now - InjectCycle.
+	InjectCycle int64
+
+	// Distance is the hop distance from source to destination router
+	// (Manhattan distance under X-Y routing), set at injection.
+	Distance int
+
+	// ArrivalCycle (dynamic) is the cycle the message arrived at its current
+	// router; local age = now - ArrivalCycle.
+	ArrivalCycle int64
+
+	// HopCount (dynamic) is the number of router-to-router hops traversed so
+	// far. It is zero while the message waits at its source router.
+	HopCount int
+
+	// ArrivalGap (dynamic) is the number of cycles between this message's
+	// arrival at its current input buffer and the previous arrival at the
+	// same buffer (Table 2 "Inter-arrival time").
+	ArrivalGap int64
+
+	// Payload carries opaque protocol-level state for higher layers (e.g.
+	// the APU coherence layer); the NoC never inspects it.
+	Payload any
+}
+
+// GlobalAge returns the number of cycles since the message entered the
+// network.
+func (m *Message) GlobalAge(now int64) int64 { return now - m.InjectCycle }
+
+// LocalAge returns the number of cycles the message has waited at its current
+// router.
+func (m *Message) LocalAge(now int64) int64 { return now - m.ArrivalCycle }
+
+// String implements fmt.Stringer.
+func (m *Message) String() string {
+	return fmt.Sprintf("msg#%d %s %d->%d class=%d flits=%d hops=%d",
+		m.ID, m.Type, m.Src, m.Dst, m.Class, m.SizeFlits, m.HopCount)
+}

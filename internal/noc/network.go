@@ -1,0 +1,554 @@
+package noc
+
+import (
+	"fmt"
+
+	"mlnoc/internal/stats"
+)
+
+// Config describes a mesh network.
+type Config struct {
+	// Width and Height are the mesh dimensions in routers.
+	Width, Height int
+	// VCs is the number of virtual channels (message classes) per port.
+	VCs int
+	// BufferCap is the per-VC input buffer capacity in messages.
+	BufferCap int
+	// MaxFlits bounds message size; the delivery wheel is sized from it.
+	// Defaults to 32.
+	MaxFlits int
+}
+
+func (c *Config) applyDefaults() {
+	if c.VCs <= 0 {
+		c.VCs = 1
+	}
+	if c.BufferCap <= 0 {
+		c.BufferCap = 4
+	}
+	if c.MaxFlits <= 0 {
+		c.MaxFlits = 32
+	}
+}
+
+// Stats aggregates network-level measurements. Latency is measured from
+// injection into the source router to delivery at the destination node.
+type Stats struct {
+	Injected  int64
+	Delivered int64
+	// Latency is generation-to-delivery latency (includes source queueing).
+	Latency stats.Accumulator
+	// NetLatency is network-injection-to-delivery latency (excludes source
+	// queueing); the difference to Latency is time spent waiting to enter
+	// the network.
+	NetLatency stats.Accumulator
+	// HopLatency accumulates per-message hop counts at delivery.
+	HopLatency stats.Accumulator
+	// PerSource accumulates generation-to-delivery latency per source node,
+	// for equality-of-service analysis (Section 5.2 of the paper).
+	PerSource []stats.Accumulator
+}
+
+// SourceMeanLatencies returns the mean latency per source node with at least
+// one delivered message.
+func (s *Stats) SourceMeanLatencies() []float64 {
+	var out []float64
+	for i := range s.PerSource {
+		if s.PerSource[i].Count() > 0 {
+			out = append(out, s.PerSource[i].Mean())
+		}
+	}
+	return out
+}
+
+// FairnessIndex returns Jain's fairness index over the per-source mean
+// latencies: 1.0 means every source observes the same average latency.
+func (s *Stats) FairnessIndex() float64 {
+	return stats.JainIndex(s.SourceMeanLatencies())
+}
+
+type delivery struct {
+	msg    *Message
+	router *Router // destination router for a hop, nil for ejection
+	port   PortID
+	vc     int
+	node   *Node // ejection target, nil for a hop
+}
+
+// Network is a mesh NoC simulation. Create one with New, attach nodes, set a
+// policy, inject traffic via the nodes, and call Step once per cycle.
+type Network struct {
+	cfg     Config
+	routers []*Router
+	nodes   []*Node
+	policy  Policy
+	matcher Matcher // non-nil when policy implements Matcher
+	grantOb GrantObserver
+
+	cycle int64
+
+	wheel   [][]delivery // delivery wheel indexed by cycle % len(wheel)
+	pending int          // messages scheduled but not yet delivered
+
+	inflightBySrc []int // outstanding messages per source node
+
+	// in-flight age tracking for reward functions
+	inflightCount int64
+	inflightBase  int64 // sum of InjectCycle over in-flight messages
+
+	// delivery window for the accumulated-latency reward
+	windowLatencySum int64
+	windowDelivered  int64
+
+	// link utilization of the most recently completed cycle
+	busyOutputs  int
+	totalOutputs int
+	lastUtil     float64
+
+	stats Stats
+
+	// OnCycle, if non-nil, runs at the end of every Step (after arbitration
+	// and delivery). The RL trainer uses it to run one training batch per
+	// cycle.
+	OnCycle func(n *Network)
+
+	// scratch buffers reused across cycles
+	candScratch []Candidate
+	reqScratch  []Request
+}
+
+// New creates an empty W x H mesh with no nodes attached. Use AttachNode (or
+// a topology helper) to add endpoints, then SetPolicy.
+func New(cfg Config) *Network {
+	cfg.applyDefaults()
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic("noc: mesh dimensions must be positive")
+	}
+	n := &Network{
+		cfg:   cfg,
+		wheel: make([][]delivery, cfg.MaxFlits+2),
+	}
+	n.routers = make([]*Router, cfg.Width*cfg.Height)
+	for y := 0; y < cfg.Height; y++ {
+		for x := 0; x < cfg.Width; x++ {
+			id := y*cfg.Width + x
+			r := &Router{id: id, Coord: Coord{X: x, Y: y}, net: n}
+			for p := range r.inGrantedAt {
+				r.inGrantedAt[p] = -1
+			}
+			n.routers[id] = r
+		}
+	}
+	// Wire mesh links and allocate direction-port buffers.
+	for _, r := range n.routers {
+		link := func(p PortID, nx, ny int) {
+			if nx < 0 || ny < 0 || nx >= cfg.Width || ny >= cfg.Height {
+				return
+			}
+			r.peerRouter[p] = n.routers[ny*cfg.Width+nx]
+			n.allocPortBuffers(r, p)
+		}
+		link(PortNorth, r.Coord.X, r.Coord.Y-1)
+		link(PortSouth, r.Coord.X, r.Coord.Y+1)
+		link(PortWest, r.Coord.X-1, r.Coord.Y)
+		link(PortEast, r.Coord.X+1, r.Coord.Y)
+	}
+	return n
+}
+
+func (n *Network) allocPortBuffers(r *Router, p PortID) {
+	if r.in[p] != nil {
+		return
+	}
+	bufs := make([]*Buffer, n.cfg.VCs)
+	for vc := range bufs {
+		bufs[vc] = &Buffer{cap: n.cfg.BufferCap, lastArr: -1}
+	}
+	r.in[p] = bufs
+	r.nPorts++
+	n.totalOutputs++
+}
+
+// AttachNode attaches a new endpoint to the router at (x, y) on the given
+// port. Attaching to a direction port is only allowed when that port has no
+// mesh neighbor (an edge port), which is how the paper's CPU clusters hang
+// off the GPU mesh.
+func (n *Network) AttachNode(x, y int, port PortID, kind DstType, label string) *Node {
+	r := n.RouterAt(x, y)
+	if r.peerRouter[port] != nil {
+		panic(fmt.Sprintf("noc: port %s of %s already linked to a neighbor", port, r))
+	}
+	if r.peerNode[port] != nil {
+		panic(fmt.Sprintf("noc: port %s of %s already has a node", port, r))
+	}
+	node := &Node{
+		ID:     NodeID(len(n.nodes)),
+		Kind:   kind,
+		Label:  label,
+		Router: r,
+		Port:   port,
+		net:    n,
+	}
+	r.peerNode[port] = node
+	n.allocPortBuffers(r, port)
+	n.nodes = append(n.nodes, node)
+	n.inflightBySrc = append(n.inflightBySrc, 0)
+	return node
+}
+
+// SetPolicy installs the arbitration policy. If the policy also implements
+// Matcher, whole-router matching is used instead of per-output selection.
+func (n *Network) SetPolicy(p Policy) {
+	n.policy = p
+	n.matcher, _ = p.(Matcher)
+	n.grantOb, _ = p.(GrantObserver)
+}
+
+// Policy returns the installed arbitration policy.
+func (n *Network) Policy() Policy { return n.policy }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Cycle returns the current simulation cycle.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// RouterAt returns the router at mesh coordinate (x, y).
+func (n *Network) RouterAt(x, y int) *Router {
+	if x < 0 || y < 0 || x >= n.cfg.Width || y >= n.cfg.Height {
+		panic(fmt.Sprintf("noc: router (%d,%d) out of range", x, y))
+	}
+	return n.routers[y*n.cfg.Width+x]
+}
+
+// Routers returns all routers in row-major order.
+func (n *Network) Routers() []*Router { return n.routers }
+
+// Nodes returns all attached nodes in attachment order.
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// Node returns the node with the given ID.
+func (n *Network) Node(id NodeID) *Node { return n.nodes[id] }
+
+// Stats returns the accumulated network statistics.
+func (n *Network) Stats() *Stats { return &n.stats }
+
+// ResetStats clears latency and counter statistics (typically after warmup).
+// In-flight bookkeeping is preserved.
+func (n *Network) ResetStats() {
+	n.stats = Stats{}
+	n.windowLatencySum = 0
+	n.windowDelivered = 0
+}
+
+// InFlight returns the number of messages currently inside the network.
+func (n *Network) InFlight() int64 { return n.inflightCount }
+
+// OutstandingFrom returns the number of in-flight messages injected by the
+// given source node (Table 2 "In-flight messages" feature).
+func (n *Network) OutstandingFrom(src NodeID) int { return n.inflightBySrc[src] }
+
+// AvgInFlightAge returns the mean age of all in-flight messages at the
+// current cycle, or 0 when the network is empty.
+func (n *Network) AvgInFlightAge() float64 {
+	if n.inflightCount == 0 {
+		return 0
+	}
+	return float64(n.cycle*n.inflightCount-n.inflightBase) / float64(n.inflightCount)
+}
+
+// TakeDeliveryWindow returns and resets the (latency sum, count) of messages
+// delivered since the previous call. The accumulated-latency reward function
+// samples this every period.
+func (n *Network) TakeDeliveryWindow() (sum int64, count int64) {
+	sum, count = n.windowLatencySum, n.windowDelivered
+	n.windowLatencySum, n.windowDelivered = 0, 0
+	return sum, count
+}
+
+// LinkUtilization returns the fraction of connected output ports that were
+// transferring a message during the most recently completed cycle (Section
+// 6.3 "link utilization" reward).
+func (n *Network) LinkUtilization() float64 { return n.lastUtil }
+
+// Step advances the simulation by one cycle: deliveries scheduled for this
+// cycle land, nodes inject, every router arbitrates its free output ports,
+// and OnCycle runs.
+func (n *Network) Step() {
+	if n.policy == nil {
+		panic("noc: Step called with no policy installed")
+	}
+	n.cycle++
+	n.deliver()
+	n.inject()
+	n.arbitrate()
+	n.countUtilization()
+	if n.OnCycle != nil {
+		n.OnCycle(n)
+	}
+}
+
+// Run advances the simulation by cycles steps.
+func (n *Network) Run(cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// Drain steps the simulation until every injected message has been delivered
+// and all node injection queues are empty, or maxCycles additional cycles
+// elapse. It reports whether the network fully drained.
+func (n *Network) Drain(maxCycles int64) bool {
+	for i := int64(0); i < maxCycles; i++ {
+		if n.Quiescent() {
+			return true
+		}
+		n.Step()
+	}
+	return n.Quiescent()
+}
+
+// Quiescent reports whether no messages are in flight and no node has pending
+// injections.
+func (n *Network) Quiescent() bool {
+	if n.inflightCount != 0 || n.pending != 0 {
+		return false
+	}
+	for _, node := range n.nodes {
+		if len(node.injectQ) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *Network) schedule(delay int64, d delivery) {
+	if delay <= 0 {
+		panic("noc: delivery delay must be positive")
+	}
+	if delay >= int64(len(n.wheel)) {
+		panic(fmt.Sprintf("noc: message of %d flits exceeds MaxFlits=%d",
+			d.msg.SizeFlits, n.cfg.MaxFlits))
+	}
+	slot := (n.cycle + delay) % int64(len(n.wheel))
+	n.wheel[slot] = append(n.wheel[slot], d)
+	n.pending++
+}
+
+func (n *Network) deliver() {
+	slot := n.cycle % int64(len(n.wheel))
+	ds := n.wheel[slot]
+	if len(ds) == 0 {
+		return
+	}
+	n.wheel[slot] = ds[:0]
+	n.pending -= len(ds)
+	for _, d := range ds {
+		if d.router != nil {
+			buf := d.router.in[d.port][d.vc]
+			buf.reserved--
+			buf.push(n.cycle, d.msg)
+			continue
+		}
+		// Ejection at destination node.
+		m := d.msg
+		lat := n.cycle - m.InjectCycle
+		n.stats.Delivered++
+		genLat := float64(n.cycle - m.GenCycle)
+		n.stats.Latency.Add(genLat)
+		n.stats.NetLatency.Add(float64(lat))
+		n.stats.HopLatency.Add(float64(m.HopCount))
+		for int(m.Src) >= len(n.stats.PerSource) {
+			n.stats.PerSource = append(n.stats.PerSource, stats.Accumulator{})
+		}
+		n.stats.PerSource[m.Src].Add(genLat)
+		n.windowLatencySum += lat
+		n.windowDelivered++
+		n.inflightCount--
+		n.inflightBase -= m.InjectCycle
+		n.inflightBySrc[m.Src]--
+		if d.node.Sink != nil {
+			d.node.Sink(n.cycle, m)
+		}
+	}
+}
+
+func (n *Network) inject() {
+	for _, node := range n.nodes {
+		if len(node.injectQ) == 0 {
+			continue
+		}
+		m := node.injectQ[0]
+		if int(m.Class) >= n.cfg.VCs {
+			panic(fmt.Sprintf("noc: %s has class %d but network has %d VCs",
+				m, m.Class, n.cfg.VCs))
+		}
+		buf := node.Router.in[node.Port][m.Class]
+		if !buf.Free() {
+			continue
+		}
+		copy(node.injectQ, node.injectQ[1:])
+		node.injectQ[len(node.injectQ)-1] = nil
+		node.injectQ = node.injectQ[:len(node.injectQ)-1]
+
+		dst := n.nodes[m.Dst]
+		m.InjectCycle = n.cycle
+		m.Distance = node.Router.Coord.Manhattan(dst.Router.Coord)
+		m.DstKind = dst.Kind
+		m.HopCount = 0
+		buf.push(n.cycle, m)
+
+		n.stats.Injected++
+		n.inflightCount++
+		n.inflightBase += n.cycle
+		n.inflightBySrc[m.Src]++
+	}
+}
+
+// gatherCandidates collects the competing input buffers for output port out
+// of router r: head messages routed to out, whose input port has not already
+// forwarded a message this cycle, and whose downstream buffer (for hops) has
+// space. The result is valid until the next gather call.
+func (n *Network) gatherCandidates(r *Router, out PortID) []Candidate {
+	cands := n.candScratch[:0]
+	for p := PortID(0); p < MaxPorts; p++ {
+		if r.in[p] == nil || r.inGrantedAt[p] == n.cycle {
+			continue
+		}
+		for vc, buf := range r.in[p] {
+			m := buf.Head()
+			if m == nil || r.route(m) != out {
+				continue
+			}
+			if next := r.peerRouter[out]; next != nil {
+				if !next.in[out.Opposite()][vc].Free() {
+					continue
+				}
+			}
+			cands = append(cands, Candidate{Port: p, VC: vc, Msg: m})
+		}
+	}
+	n.candScratch = cands
+	return cands
+}
+
+func (n *Network) applyGrant(r *Router, out PortID, c Candidate) {
+	buf := r.in[c.Port][c.VC]
+	m := buf.pop()
+	if m != c.Msg {
+		panic("noc: granted candidate is no longer at its buffer head")
+	}
+	r.outBusyUntil[out] = n.cycle + int64(m.SizeFlits)
+	r.inGrantedAt[c.Port] = n.cycle
+
+	if next := r.peerRouter[out]; next != nil {
+		m.HopCount++
+		inPort := out.Opposite()
+		next.in[inPort][c.VC].reserved++
+		n.schedule(int64(m.SizeFlits), delivery{
+			msg: m, router: next, port: inPort, vc: c.VC,
+		})
+		return
+	}
+	node := r.peerNode[out]
+	if node == nil {
+		panic(fmt.Sprintf("noc: grant to unconnected output %s of %s", out, r))
+	}
+	if m.Dst != node.ID {
+		panic(fmt.Sprintf("noc: %s misrouted to %s", m, node))
+	}
+	n.schedule(int64(m.SizeFlits), delivery{msg: m, node: node})
+}
+
+func (n *Network) arbitrate() {
+	if n.matcher != nil {
+		n.arbitrateMatched()
+		return
+	}
+	ctx := ArbContext{Net: n, Cycle: n.cycle}
+	for _, r := range n.routers {
+		ctx.Router = r
+		for out := PortID(0); out < MaxPorts; out++ {
+			if !r.HasPort(out) || r.OutputBusy(out, n.cycle) {
+				continue
+			}
+			cands := n.gatherCandidates(r, out)
+			if len(cands) == 0 {
+				continue
+			}
+			ctx.Out = out
+			choice := 0
+			if len(cands) > 1 {
+				choice = n.policy.Select(&ctx, cands)
+				if choice < 0 || choice >= len(cands) {
+					panic(fmt.Sprintf("noc: policy %s returned choice %d of %d candidates",
+						n.policy.Name(), choice, len(cands)))
+				}
+			}
+			if n.grantOb != nil {
+				n.grantOb.ObserveGrant(&ctx, cands, choice)
+			}
+			n.applyGrant(r, out, cands[choice])
+		}
+	}
+}
+
+func (n *Network) arbitrateMatched() {
+	mctx := MatchContext{Net: n, Cycle: n.cycle}
+	for _, r := range n.routers {
+		reqs := n.reqScratch[:0]
+		for out := PortID(0); out < MaxPorts; out++ {
+			if !r.HasPort(out) || r.OutputBusy(out, n.cycle) {
+				continue
+			}
+			cands := n.gatherCandidates(r, out)
+			if len(cands) == 0 {
+				continue
+			}
+			// Candidates must outlive the next gather call.
+			own := make([]Candidate, len(cands))
+			copy(own, cands)
+			reqs = append(reqs, Request{Out: out, Cands: own})
+		}
+		n.reqScratch = reqs[:0]
+		if len(reqs) == 0 {
+			continue
+		}
+		mctx.Router = r
+		grants := n.matcher.Match(&mctx, reqs)
+		if len(grants) != len(reqs) {
+			panic(fmt.Sprintf("noc: matcher %s returned %d grants for %d requests",
+				n.policy.Name(), len(grants), len(reqs)))
+		}
+		var usedIn [MaxPorts]bool
+		for i, g := range grants {
+			if g < 0 {
+				continue
+			}
+			if g >= len(reqs[i].Cands) {
+				panic(fmt.Sprintf("noc: matcher %s grant %d out of range", n.policy.Name(), g))
+			}
+			c := reqs[i].Cands[g]
+			if usedIn[c.Port] {
+				panic(fmt.Sprintf("noc: matcher %s granted input port %s twice", n.policy.Name(), c.Port))
+			}
+			usedIn[c.Port] = true
+			n.applyGrant(r, reqs[i].Out, c)
+		}
+	}
+}
+
+func (n *Network) countUtilization() {
+	busy := 0
+	for _, r := range n.routers {
+		for p := PortID(0); p < MaxPorts; p++ {
+			if r.HasPort(p) && r.outBusyUntil[p] > n.cycle {
+				busy++
+			}
+		}
+	}
+	n.busyOutputs = busy
+	if n.totalOutputs > 0 {
+		n.lastUtil = float64(busy) / float64(n.totalOutputs)
+	}
+}

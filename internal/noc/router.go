@@ -1,0 +1,151 @@
+package noc
+
+import "fmt"
+
+// Buffer is one virtual-channel input FIFO of a router port.
+type Buffer struct {
+	q        []*Message
+	reserved int   // slots reserved by in-flight granted messages
+	lastArr  int64 // cycle of the most recent arrival, -1 if none
+	cap      int
+}
+
+// Len returns the number of messages queued in the buffer.
+func (b *Buffer) Len() int { return len(b.q) }
+
+// Head returns the message at the head of the buffer, or nil if empty.
+func (b *Buffer) Head() *Message {
+	if len(b.q) == 0 {
+		return nil
+	}
+	return b.q[0]
+}
+
+// Free reports whether the buffer can accept one more message, counting
+// reservations made for messages currently in flight toward it.
+func (b *Buffer) Free() bool { return len(b.q)+b.reserved < b.cap }
+
+// At returns the i-th queued message (0 is the head).
+func (b *Buffer) At(i int) *Message { return b.q[i] }
+
+// Cap returns the buffer capacity in messages.
+func (b *Buffer) Cap() int { return b.cap }
+
+func (b *Buffer) push(now int64, m *Message) {
+	if b.lastArr >= 0 {
+		m.ArrivalGap = now - b.lastArr
+	} else {
+		m.ArrivalGap = 0
+	}
+	b.lastArr = now
+	m.ArrivalCycle = now
+	b.q = append(b.q, m)
+}
+
+func (b *Buffer) pop() *Message {
+	m := b.q[0]
+	copy(b.q, b.q[1:])
+	b.q[len(b.q)-1] = nil
+	b.q = b.q[:len(b.q)-1]
+	return m
+}
+
+// Router is one mesh router. Each port has one input buffer per virtual
+// channel (message class). Output ports are arbitrated independently, one
+// grant per cycle, and stay busy for the granted message's flit count.
+type Router struct {
+	id    int
+	Coord Coord
+
+	net *Network
+
+	// peers[p] is what port p connects to: a neighboring router, an attached
+	// node, or nothing.
+	peerRouter [MaxPorts]*Router
+	peerNode   [MaxPorts]*Node
+
+	// in[p][vc] is the input buffer of port p, virtual channel vc. Ports
+	// without a peer have nil buffer slices.
+	in [MaxPorts][]*Buffer
+
+	// outBusyUntil[p] is the first cycle at which output port p is free.
+	outBusyUntil [MaxPorts]int64
+
+	// inGrantedAt[p] is the last cycle input port p forwarded a message,
+	// enforcing the one-message-per-input-port-per-cycle constraint.
+	inGrantedAt [MaxPorts]int64
+
+	nPorts int // number of connected ports (for stats/diagnostics)
+}
+
+// ID returns the router's dense index within its network.
+func (r *Router) ID() int { return r.id }
+
+// HasPort reports whether port p is connected (to a neighbor router or to an
+// attached node).
+func (r *Router) HasPort(p PortID) bool {
+	return r.peerRouter[p] != nil || r.peerNode[p] != nil
+}
+
+// NumPorts returns the number of connected ports.
+func (r *Router) NumPorts() int { return r.nPorts }
+
+// Neighbor returns the router connected at direction port p, or nil.
+func (r *Router) Neighbor(p PortID) *Router { return r.peerRouter[p] }
+
+// AttachedNode returns the node attached at port p, or nil.
+func (r *Router) AttachedNode(p PortID) *Node { return r.peerNode[p] }
+
+// Buffer returns the input buffer for (port, vc), or nil if the port is not
+// connected.
+func (r *Router) Buffer(p PortID, vc int) *Buffer {
+	if r.in[p] == nil {
+		return nil
+	}
+	return r.in[p][vc]
+}
+
+// NumVCs returns the number of virtual channels per port.
+func (r *Router) NumVCs() int { return r.net.cfg.VCs }
+
+// OutputBusy reports whether output port p is still serializing a previously
+// granted message at the given cycle.
+func (r *Router) OutputBusy(p PortID, now int64) bool {
+	return r.outBusyUntil[p] > now
+}
+
+// QueuedMessages returns the total number of messages queued in all input
+// buffers of the router.
+func (r *Router) QueuedMessages() int {
+	total := 0
+	for p := 0; p < MaxPorts; p++ {
+		for _, b := range r.in[p] {
+			total += b.Len()
+		}
+	}
+	return total
+}
+
+// route returns the output port taking m one hop closer to its destination
+// from this router, using dimension-ordered X-Y routing: correct X first,
+// then Y, then deliver to the destination node's attach port.
+func (r *Router) route(m *Message) PortID {
+	dst := r.net.nodes[m.Dst]
+	dc := dst.Router.Coord
+	switch {
+	case dc.X > r.Coord.X:
+		return PortEast
+	case dc.X < r.Coord.X:
+		return PortWest
+	case dc.Y > r.Coord.Y:
+		return PortSouth
+	case dc.Y < r.Coord.Y:
+		return PortNorth
+	}
+	return dst.Port
+}
+
+// String implements fmt.Stringer.
+func (r *Router) String() string {
+	return fmt.Sprintf("router#%d%s ports=%d", r.id, r.Coord, r.nPorts)
+}

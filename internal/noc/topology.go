@@ -1,0 +1,123 @@
+package noc
+
+import "fmt"
+
+// PortID identifies a router port. Ports double as inputs and outputs: port p
+// receives messages from its peer and transmits messages to its peer.
+//
+// The fixed layout mirrors the paper's heatmap column ordering (Fig. 7):
+// core, memory, north, south, west, east. Simple meshes only use PortCore plus
+// the four direction ports.
+type PortID int
+
+// Router port indices.
+const (
+	PortCore PortID = iota // primary local endpoint
+	PortMem                // secondary local endpoint ("memory" in the paper)
+	PortNorth
+	PortSouth
+	PortWest
+	PortEast
+
+	// MaxPorts is the maximum number of ports on any router; state vectors
+	// are padded to this width (Section 4.4 of the paper).
+	MaxPorts = 6
+)
+
+// String implements fmt.Stringer.
+func (p PortID) String() string {
+	switch p {
+	case PortCore:
+		return "core"
+	case PortMem:
+		return "mem"
+	case PortNorth:
+		return "north"
+	case PortSouth:
+		return "south"
+	case PortWest:
+		return "west"
+	case PortEast:
+		return "east"
+	}
+	return fmt.Sprintf("port(%d)", int(p))
+}
+
+// IsDirection reports whether p is one of the four mesh direction ports.
+func (p PortID) IsDirection() bool { return p >= PortNorth && p <= PortEast }
+
+// Opposite returns the direction port facing p (north<->south, west<->east).
+// It panics for non-direction ports.
+func (p PortID) Opposite() PortID {
+	switch p {
+	case PortNorth:
+		return PortSouth
+	case PortSouth:
+		return PortNorth
+	case PortWest:
+		return PortEast
+	case PortEast:
+		return PortWest
+	}
+	panic("noc: Opposite of non-direction port " + p.String())
+}
+
+// Coord is a router coordinate in the mesh. X grows eastward (columns), Y
+// grows southward (rows); router (0,0) is the north-west corner.
+type Coord struct{ X, Y int }
+
+// Manhattan returns the Manhattan distance between two coordinates.
+func (c Coord) Manhattan(o Coord) int {
+	return abs(c.X-o.X) + abs(c.Y-o.Y)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// String implements fmt.Stringer.
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Node is an endpoint attached to one router port: it injects messages into
+// the network and consumes ("ejects") messages addressed to it.
+type Node struct {
+	ID     NodeID
+	Kind   DstType // how this node is classified as a destination
+	Label  string  // human-readable role, e.g. "CU/L1D", "Dir", "CPU"
+	Router *Router
+	Port   PortID
+
+	net *Network
+
+	// Sink, if non-nil, is invoked for every message delivered to this node.
+	// It runs inside Network.Step; it may inject new messages but must not
+	// call Step.
+	Sink func(now int64, m *Message)
+
+	injectQ []*Message // pending injections, drained one per cycle
+}
+
+// Inject queues a message for injection at this node. The message enters the
+// node's router when the local input buffer has space; one message enters per
+// cycle. Src, Dst and SizeFlits must be set by the caller; the network fills
+// in timing and distance fields.
+func (n *Node) Inject(m *Message) {
+	if m.SizeFlits <= 0 {
+		panic("noc: message must have at least one flit")
+	}
+	m.Src = n.ID
+	m.GenCycle = n.net.cycle
+	n.injectQ = append(n.injectQ, m)
+}
+
+// PendingInjections returns the number of messages queued at the node that
+// have not yet entered the network.
+func (n *Node) PendingInjections() int { return len(n.injectQ) }
+
+// String implements fmt.Stringer.
+func (n *Node) String() string {
+	return fmt.Sprintf("node#%d %s@%s.%s", n.ID, n.Label, n.Router.Coord, n.Port)
+}

@@ -1,0 +1,136 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQTableBasics(t *testing.T) {
+	q := NewQTable(3, 0.5, 0.9)
+	if q.States() != 0 || q.Bytes() != 0 {
+		t.Fatal("fresh table not empty")
+	}
+	row := q.Row(42)
+	if len(row) != 3 {
+		t.Fatalf("row width %d", len(row))
+	}
+	if q.States() != 1 {
+		t.Fatal("Row did not materialize the state")
+	}
+	if q.Peek(43) != nil {
+		t.Fatal("Peek materialized a state")
+	}
+	if q.Bytes() != 8+3*8 {
+		t.Fatalf("Bytes = %d", q.Bytes())
+	}
+}
+
+func TestQTableBestRespectsValidity(t *testing.T) {
+	q := NewQTable(4, 0.5, 0.9)
+	row := q.Row(7)
+	row[0], row[1], row[2], row[3] = 5, 9, 1, 7
+	a, v := q.Best(7, []int{0, 2, 3})
+	if a != 3 || v != 7 {
+		t.Fatalf("Best = (%d,%v), want (3,7): action 1 is invalid", a, v)
+	}
+	// Unknown state: first valid action at value 0.
+	a, v = q.Best(999, []int{2, 1})
+	if a != 2 || v != 0 {
+		t.Fatalf("unknown-state Best = (%d,%v)", a, v)
+	}
+}
+
+func TestQTableUpdateConverges(t *testing.T) {
+	q := NewQTable(2, 0.5, 0)
+	for i := 0; i < 100; i++ {
+		q.Update(1, 0, 10, 0, nil) // terminal reward 10
+	}
+	if got := q.Row(1)[0]; got < 9.9 || got > 10.1 {
+		t.Fatalf("Q converged to %v, want 10", got)
+	}
+}
+
+func TestQTableBellmanChain(t *testing.T) {
+	// Two-state chain: s1 -a0-> s2 (r=0), s2 -a0-> terminal (r=1).
+	// With gamma 0.5, Q(s1,a0) converges to 0.5.
+	q := NewQTable(1, 0.3, 0.5)
+	for i := 0; i < 500; i++ {
+		q.Update(2, 0, 1, 0, nil)
+		q.Update(1, 0, 0, 2, []int{0})
+	}
+	if got := q.Row(1)[0]; got < 0.45 || got > 0.55 {
+		t.Fatalf("chained Q = %v, want ~0.5", got)
+	}
+}
+
+func TestQTableEpsilonGreedy(t *testing.T) {
+	q := NewQTable(3, 0.5, 0.9)
+	row := q.Row(5)
+	row[1] = 100
+	rng := rand.New(rand.NewSource(1))
+	greedy, explored := 0, 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		a := q.EpsilonGreedy(rng, 5, []int{0, 1, 2}, 0.3)
+		if a == 1 {
+			greedy++
+		} else {
+			explored++
+		}
+	}
+	// P(action 1) = 0.7 + 0.3/3 = 0.8.
+	frac := float64(greedy) / trials
+	if frac < 0.77 || frac > 0.83 {
+		t.Fatalf("greedy fraction %.3f, want ~0.8", frac)
+	}
+	if explored == 0 {
+		t.Fatal("never explored")
+	}
+}
+
+func TestQTablePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewQTable(0, 0.5, 0.9) },
+		func() { NewQTable(2, 0, 0.9) },
+		func() { NewQTable(2, 1.5, 0.9) },
+		func() { NewQTable(2, 0.5, 0.9).Best(1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuickQTableBounded(t *testing.T) {
+	// Property: with rewards in [0,1] and gamma g, Q-values stay within
+	// [0, 1/(1-g)] under arbitrary update sequences.
+	f := func(seed int64, n16 uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const gamma = 0.5
+		q := NewQTable(3, 0.5, gamma)
+		bound := 1/(1-gamma) + 1e-9
+		for i := 0; i < int(n16)%2000; i++ {
+			s := uint64(rng.Intn(10))
+			next := uint64(rng.Intn(10))
+			q.Update(s, rng.Intn(3), rng.Float64(), next, []int{0, 1, 2})
+		}
+		for s := uint64(0); s < 10; s++ {
+			row := q.Peek(s)
+			for _, v := range row {
+				if v < 0 || v > bound {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

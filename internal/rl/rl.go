@@ -1,0 +1,269 @@
+// Package rl implements the reinforcement-learning machinery of the paper's
+// methodology: experience replay, deep Q-learning with a target network
+// (Mnih et al. 2015, as cited by the paper), and the three reward functions
+// compared in Section 6.3 (global age, reciprocal accumulated latency, link
+// utilization).
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlnoc/internal/nn"
+	"mlnoc/internal/noc"
+)
+
+// Experience is one <state, action, reward, next state> tuple (Fig. 3 of the
+// paper). Next may be nil when no successor state was observed before the
+// episode ended; such experiences train without a bootstrapped future term.
+type Experience struct {
+	State  []float64
+	Action int
+	Reward float64
+	Next   []float64
+	// NextValid lists the action indices that were actually available in the
+	// next state (occupied buffer slots). When non-empty, the Bellman max is
+	// restricted to them, so the bootstrap never flows through Q-values of
+	// empty buffers that can never be selected.
+	NextValid []int
+}
+
+// Replay is the circular experience-replay buffer used to decorrelate
+// training samples (Section 3.1.2). The zero value is unusable; create one
+// with NewReplay.
+type Replay struct {
+	buf  []Experience
+	next int
+	size int
+}
+
+// NewReplay creates a replay memory holding up to capacity experiences.
+func NewReplay(capacity int) *Replay {
+	if capacity <= 0 {
+		panic("rl: replay capacity must be positive")
+	}
+	return &Replay{buf: make([]Experience, capacity)}
+}
+
+// Add records one experience, evicting the oldest when full.
+func (r *Replay) Add(e Experience) {
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	if r.size < len(r.buf) {
+		r.size++
+	}
+}
+
+// Len returns the number of stored experiences.
+func (r *Replay) Len() int { return r.size }
+
+// Cap returns the capacity of the replay memory.
+func (r *Replay) Cap() int { return len(r.buf) }
+
+// Sample returns n experiences drawn uniformly at random (with replacement).
+// It panics if the buffer is empty.
+func (r *Replay) Sample(rng *rand.Rand, n int) []*Experience {
+	if r.size == 0 {
+		panic("rl: sampling from empty replay memory")
+	}
+	out := make([]*Experience, n)
+	for i := range out {
+		out[i] = &r.buf[rng.Intn(r.size)]
+	}
+	return out
+}
+
+// DQLConfig configures a deep Q-learner. The defaults (applied by NewDQL for
+// zero fields) are the paper's Section 4.6 hyperparameters.
+type DQLConfig struct {
+	Gamma     float64 // discount factor (paper: 0.9)
+	LR        float64 // learning rate (paper: 0.001)
+	ReplayCap int     // replay memory entries (paper: 4000)
+	BatchSize int     // records sampled per training step (paper: 2)
+	SyncEvery int64   // training steps between target-network refreshes
+	Epsilon   float64 // exploration rate (paper: 0.001)
+}
+
+func (c *DQLConfig) applyDefaults() {
+	if c.Gamma == 0 {
+		c.Gamma = 0.9
+	}
+	if c.LR == 0 {
+		c.LR = 0.001
+	}
+	if c.ReplayCap == 0 {
+		c.ReplayCap = 4000
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 2
+	}
+	if c.SyncEvery == 0 {
+		c.SyncEvery = 500
+	}
+}
+
+// DQL is a deep Q-learner: an online network trained by SGD against targets
+// bootstrapped from a periodically synchronized target network.
+type DQL struct {
+	Online *nn.MLP
+	Target *nn.MLP
+	Replay *Replay
+	Cfg    DQLConfig
+
+	steps int64
+}
+
+// NewDQL wraps an online network with a target copy and replay memory.
+func NewDQL(online *nn.MLP, cfg DQLConfig) *DQL {
+	cfg.applyDefaults()
+	return &DQL{
+		Online: online,
+		Target: online.Clone(),
+		Replay: NewReplay(cfg.ReplayCap),
+		Cfg:    cfg,
+	}
+}
+
+// Observe stores one experience in replay memory.
+func (d *DQL) Observe(e Experience) { d.Replay.Add(e) }
+
+// TrainBatch samples Cfg.BatchSize experiences and applies one Bellman update
+// each: Q(s,a) <- r + gamma * max_a' Qtarget(s',a'). It returns the mean
+// squared TD error of the batch and is a no-op returning 0 when replay is
+// empty.
+func (d *DQL) TrainBatch(rng *rand.Rand) float64 {
+	if d.Replay.Len() == 0 {
+		return 0
+	}
+	batch := d.Replay.Sample(rng, d.Cfg.BatchSize)
+	total := 0.0
+	for _, e := range batch {
+		target := e.Reward
+		if e.Next != nil {
+			q := d.Target.Forward(e.Next)
+			var best float64
+			if len(e.NextValid) > 0 {
+				best = q[e.NextValid[0]]
+				for _, a := range e.NextValid[1:] {
+					if q[a] > best {
+						best = q[a]
+					}
+				}
+			} else {
+				best = q[0]
+				for _, v := range q[1:] {
+					if v > best {
+						best = v
+					}
+				}
+			}
+			target += d.Cfg.Gamma * best
+		}
+		total += d.Online.TrainAction(e.State, e.Action, target, d.Cfg.LR)
+		d.steps++
+		if d.steps%d.Cfg.SyncEvery == 0 {
+			d.Target.CopyFrom(d.Online)
+		}
+	}
+	return total / float64(len(batch))
+}
+
+// Steps returns the number of single-experience SGD updates performed.
+func (d *DQL) Steps() int64 { return d.steps }
+
+// RewardKind selects one of the Section 6.3 reward functions.
+type RewardKind int
+
+// Reward functions compared in the paper.
+const (
+	// RewardGlobalAge gives a fixed positive reward for selecting the
+	// competing message with the largest global age, and zero otherwise.
+	// This is the paper's default and the only one that converges (Fig. 12).
+	RewardGlobalAge RewardKind = iota
+	// RewardAccLatency is the reciprocal of the average accumulated latency
+	// of messages delivered in the last period plus messages still in
+	// transit, sampled periodically and applied to all following actions.
+	RewardAccLatency
+	// RewardLinkUtil is the fraction of links that transferred a message in
+	// the previous cycle, applied to all actions in the next cycle.
+	RewardLinkUtil
+)
+
+// String implements fmt.Stringer.
+func (k RewardKind) String() string {
+	switch k {
+	case RewardGlobalAge:
+		return "global_age"
+	case RewardAccLatency:
+		return "acc_latency"
+	case RewardLinkUtil:
+		return "link_util"
+	}
+	return fmt.Sprintf("RewardKind(%d)", int(k))
+}
+
+// RewardTracker computes per-decision rewards. For the global-age reward the
+// value depends on the specific decision; for the two global rewards it is a
+// network-wide value refreshed by OnCycle and shared by every decision in the
+// period — exactly the distinction Section 6.3 identifies as the reason
+// global rewards train poorly.
+type RewardTracker struct {
+	Kind RewardKind
+	// Period is the sampling period in cycles for RewardAccLatency
+	// (paper: e.g. 10 cycles).
+	Period int64
+
+	current float64
+}
+
+// NewRewardTracker creates a tracker for the given reward kind.
+func NewRewardTracker(kind RewardKind) *RewardTracker {
+	return &RewardTracker{Kind: kind, Period: 10}
+}
+
+// OnCycle refreshes period-based rewards; call it once per simulated cycle.
+func (t *RewardTracker) OnCycle(n *noc.Network) {
+	switch t.Kind {
+	case RewardLinkUtil:
+		t.current = n.LinkUtilization()
+	case RewardAccLatency:
+		if n.Cycle()%t.Period != 0 {
+			return
+		}
+		sum, count := n.TakeDeliveryWindow()
+		// Average over delivered-this-period and in-transit messages;
+		// including in-transit messages is the fix the paper describes for
+		// the starvation incentive of a completed-only latency reward.
+		inflight := n.InFlight()
+		total := float64(count) + float64(inflight)
+		if total == 0 {
+			t.current = 1
+			return
+		}
+		avg := (float64(sum) + n.AvgInFlightAge()*float64(inflight)) / total
+		if avg < 1 {
+			avg = 1
+		}
+		t.current = 1 / avg
+	}
+}
+
+// DecisionReward returns the reward for granting cands[chosen] at the given
+// arbitration site.
+func (t *RewardTracker) DecisionReward(ctx *noc.ArbContext, cands []noc.Candidate, chosen int) float64 {
+	switch t.Kind {
+	case RewardGlobalAge:
+		oldest := cands[0].Msg.InjectCycle
+		for _, c := range cands[1:] {
+			if c.Msg.InjectCycle < oldest {
+				oldest = c.Msg.InjectCycle
+			}
+		}
+		if cands[chosen].Msg.InjectCycle == oldest {
+			return 1
+		}
+		return 0
+	default:
+		return t.current
+	}
+}

@@ -1,0 +1,276 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mlnoc/internal/nn"
+	"mlnoc/internal/noc"
+)
+
+func newNet(seed int64, in, hidden, out int) *nn.MLP {
+	return nn.New([]int{in, hidden, out},
+		[]nn.Activation{nn.Sigmoid, nn.LeakyReLU},
+		rand.New(rand.NewSource(seed)))
+}
+
+func TestReplayRingSemantics(t *testing.T) {
+	r := NewReplay(3)
+	if r.Len() != 0 || r.Cap() != 3 {
+		t.Fatalf("fresh replay len/cap = %d/%d", r.Len(), r.Cap())
+	}
+	for i := 0; i < 5; i++ {
+		r.Add(Experience{Action: i})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len after overfill = %d, want 3", r.Len())
+	}
+	// Oldest entries (0, 1) must have been evicted.
+	seen := map[int]bool{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		for _, e := range r.Sample(rng, 4) {
+			seen[e.Action] = true
+		}
+	}
+	for a := 0; a <= 1; a++ {
+		if seen[a] {
+			t.Fatalf("evicted experience %d still sampled", a)
+		}
+	}
+	for a := 2; a <= 4; a++ {
+		if !seen[a] {
+			t.Fatalf("live experience %d never sampled", a)
+		}
+	}
+}
+
+func TestReplayPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewReplay(0) did not panic")
+			}
+		}()
+		NewReplay(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Sample from empty replay did not panic")
+			}
+		}()
+		NewReplay(1).Sample(rand.New(rand.NewSource(1)), 1)
+	}()
+}
+
+func TestQuickReplayNeverExceedsCap(t *testing.T) {
+	f := func(capacity8 uint8, n16 uint16) bool {
+		capacity := int(capacity8)%50 + 1
+		r := NewReplay(capacity)
+		for i := 0; i < int(n16)%500; i++ {
+			r.Add(Experience{Action: i})
+		}
+		return r.Len() <= capacity && r.Cap() == capacity
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDQLDefaults(t *testing.T) {
+	d := NewDQL(newNet(1, 4, 6, 3), DQLConfig{})
+	if d.Cfg.Gamma != 0.9 || d.Cfg.LR != 0.001 || d.Cfg.ReplayCap != 4000 ||
+		d.Cfg.BatchSize != 2 {
+		t.Fatalf("paper defaults not applied: %+v", d.Cfg)
+	}
+	if d.Target == d.Online {
+		t.Fatal("target network aliases the online network")
+	}
+}
+
+// TestDQLLearnsBandit: a two-state contextual bandit where action 0 is right
+// in state A and action 1 in state B must be solved by the Q-learner.
+func TestDQLLearnsBandit(t *testing.T) {
+	d := NewDQL(newNet(2, 2, 8, 2), DQLConfig{
+		Gamma: 0.1, LR: 0.05, BatchSize: 8, ReplayCap: 512, SyncEvery: 100,
+	})
+	rng := rand.New(rand.NewSource(3))
+	stateA := []float64{1, 0}
+	stateB := []float64{0, 1}
+	for i := 0; i < 3000; i++ {
+		s, best := stateA, 0
+		if rng.Intn(2) == 1 {
+			s, best = stateB, 1
+		}
+		a := rng.Intn(2) // uniformly explore
+		reward := 0.0
+		if a == best {
+			reward = 1
+		}
+		d.Observe(Experience{State: s, Action: a, Reward: reward, Next: s, NextValid: []int{0, 1}})
+		d.TrainBatch(rng)
+	}
+	qa := d.Online.Forward(stateA)
+	if !(qa[0] > qa[1]) {
+		t.Fatalf("state A Q = %v, want action 0 preferred", qa)
+	}
+	qb := d.Online.Forward(stateB)
+	if !(qb[1] > qb[0]) {
+		t.Fatalf("state B Q = %v, want action 1 preferred", qb)
+	}
+}
+
+// TestDQLBellmanTarget: with a frozen target network, one update moves
+// Q(s,a) toward r + gamma*max_valid Q(s').
+func TestDQLBellmanTarget(t *testing.T) {
+	d := NewDQL(newNet(4, 3, 8, 3), DQLConfig{
+		Gamma: 0.9, LR: 0.05, BatchSize: 1, ReplayCap: 8, SyncEvery: 1 << 30,
+	})
+	s := []float64{0.1, 0.2, 0.3}
+	next := []float64{0.4, 0.5, 0.6}
+
+	qNext := d.Target.Forward(next)
+	// Restrict the bootstrap to action 2.
+	want := 1.0 + 0.9*qNext[2]
+	before := d.Online.Forward(s)[1]
+
+	d.Observe(Experience{State: s, Action: 1, Reward: 1, Next: next, NextValid: []int{2}})
+	d.TrainBatch(rand.New(rand.NewSource(1)))
+
+	after := d.Online.Forward(s)[1]
+	if math.Abs(after-want) >= math.Abs(before-want) {
+		t.Fatalf("Q did not move toward target: before %.4f after %.4f want %.4f",
+			before, after, want)
+	}
+}
+
+func TestDQLTerminalExperience(t *testing.T) {
+	d := NewDQL(newNet(5, 2, 4, 2), DQLConfig{
+		Gamma: 0.9, LR: 0.1, BatchSize: 1, ReplayCap: 4, SyncEvery: 1 << 30,
+	})
+	s := []float64{1, 0}
+	// Terminal: no Next; target is the raw reward.
+	d.Observe(Experience{State: s, Action: 0, Reward: 2})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		d.TrainBatch(rng)
+	}
+	if got := d.Online.Forward(s)[0]; math.Abs(got-2) > 0.2 {
+		t.Fatalf("terminal Q = %.3f, want ~2", got)
+	}
+}
+
+func TestDQLTargetSync(t *testing.T) {
+	d := NewDQL(newNet(6, 2, 4, 2), DQLConfig{
+		Gamma: 0.5, LR: 0.1, BatchSize: 1, ReplayCap: 4, SyncEvery: 10,
+	})
+	s := []float64{1, 1}
+	d.Observe(Experience{State: s, Action: 0, Reward: 1})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 10; i++ {
+		d.TrainBatch(rng)
+	}
+	// After exactly SyncEvery steps the target must equal the online net.
+	on := d.Online.Forward(s)
+	onCopy := append([]float64(nil), on...)
+	tg := d.Target.Forward(s)
+	for i := range onCopy {
+		if onCopy[i] != tg[i] {
+			t.Fatalf("target not synced after SyncEvery steps: %v vs %v", onCopy, tg)
+		}
+	}
+	if d.Steps() != 10 {
+		t.Fatalf("steps = %d, want 10", d.Steps())
+	}
+}
+
+func TestTrainBatchEmptyReplayNoop(t *testing.T) {
+	d := NewDQL(newNet(7, 2, 4, 2), DQLConfig{})
+	if loss := d.TrainBatch(rand.New(rand.NewSource(1))); loss != 0 {
+		t.Fatalf("empty replay training returned %v", loss)
+	}
+	if d.Steps() != 0 {
+		t.Fatal("empty replay training advanced steps")
+	}
+}
+
+func TestRewardKindString(t *testing.T) {
+	if RewardGlobalAge.String() != "global_age" ||
+		RewardAccLatency.String() != "acc_latency" ||
+		RewardLinkUtil.String() != "link_util" {
+		t.Fatal("reward names wrong")
+	}
+}
+
+func buildLoadedNet(t *testing.T) *noc.Network {
+	t.Helper()
+	net, cores := noc.BuildMeshCores(noc.Config{Width: 2, Height: 2, VCs: 1})
+	net.SetPolicy(firstPolicy{})
+	// Generate a bit of traffic so utilization and windows are non-trivial.
+	cores[0].Inject(&noc.Message{ID: 1, Dst: cores[3].ID, SizeFlits: 5})
+	cores[1].Inject(&noc.Message{ID: 2, Dst: cores[2].ID, SizeFlits: 5})
+	net.Step()
+	return net
+}
+
+type firstPolicy struct{}
+
+func (firstPolicy) Name() string                                    { return "first" }
+func (firstPolicy) Select(_ *noc.ArbContext, _ []noc.Candidate) int { return 0 }
+
+func TestRewardGlobalAge(t *testing.T) {
+	tr := NewRewardTracker(RewardGlobalAge)
+	cands := []noc.Candidate{
+		{Msg: &noc.Message{InjectCycle: 50}},
+		{Msg: &noc.Message{InjectCycle: 10}}, // oldest
+		{Msg: &noc.Message{InjectCycle: 30}},
+	}
+	if r := tr.DecisionReward(nil, cands, 1); r != 1 {
+		t.Fatalf("oldest pick reward = %v, want 1", r)
+	}
+	if r := tr.DecisionReward(nil, cands, 0); r != 0 {
+		t.Fatalf("non-oldest pick reward = %v, want 0", r)
+	}
+	// Ties: any candidate sharing the oldest inject cycle earns the reward.
+	cands[0].Msg.InjectCycle = 10
+	if r := tr.DecisionReward(nil, cands, 0); r != 1 {
+		t.Fatalf("tied-oldest reward = %v, want 1", r)
+	}
+}
+
+func TestRewardLinkUtil(t *testing.T) {
+	net := buildLoadedNet(t)
+	tr := NewRewardTracker(RewardLinkUtil)
+	tr.OnCycle(net)
+	if tr.current <= 0 || tr.current > 1 {
+		t.Fatalf("link-util reward = %v, want in (0,1]", tr.current)
+	}
+	cands := []noc.Candidate{{Msg: &noc.Message{}}, {Msg: &noc.Message{}}}
+	if r := tr.DecisionReward(nil, cands, 0); r != tr.current {
+		t.Fatal("link-util reward must not depend on the decision")
+	}
+}
+
+func TestRewardAccLatencyPeriodic(t *testing.T) {
+	net := buildLoadedNet(t)
+	tr := NewRewardTracker(RewardAccLatency)
+	tr.Period = 1 // refresh every cycle for the test
+	for i := 0; i < 12; i++ {
+		net.Step()
+		tr.OnCycle(net)
+	}
+	if tr.current <= 0 || tr.current > 1 {
+		t.Fatalf("acc-latency reward = %v, want in (0,1]", tr.current)
+	}
+	// Idle network: reward goes to the no-traffic value of 1.
+	net.Drain(100)
+	net.TakeDeliveryWindow()
+	net.Step()
+	tr.OnCycle(net)
+	if tr.current != 1 {
+		t.Fatalf("idle acc-latency reward = %v, want 1", tr.current)
+	}
+}

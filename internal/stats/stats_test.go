@@ -1,0 +1,239 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.Count() != 0 || a.Mean() != 0 || a.Variance() != 0 {
+		t.Fatal("zero accumulator not zeroed")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.Count() != 8 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+	if !almostEqual(a.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", a.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if !almostEqual(a.Variance(), 32.0/7, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", a.Variance(), 32.0/7)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	if !almostEqual(a.Sum(), 40, 1e-9) {
+		t.Fatalf("Sum = %v, want 40", a.Sum())
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Mean() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestAccumulatorMergeMatchesSequential(t *testing.T) {
+	f := func(xs []float64, split uint8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = float64(i)
+			}
+			// Bound magnitudes to keep float comparisons meaningful.
+			xs[i] = math.Mod(xs[i], 1e6)
+		}
+		k := int(split) % len(xs)
+		var whole, left, right Accumulator
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		for _, x := range xs[:k] {
+			left.Add(x)
+		}
+		for _, x := range xs[k:] {
+			right.Add(x)
+		}
+		left.Merge(&right)
+		return left.Count() == whole.Count() &&
+			almostEqual(left.Mean(), whole.Mean(), 1e-6*(1+math.Abs(whole.Mean()))) &&
+			almostEqual(left.Variance(), whole.Variance(), 1e-4*(1+whole.Variance())) &&
+			left.Min() == whole.Min() && left.Max() == whole.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumulatorAddN(t *testing.T) {
+	var a, b Accumulator
+	a.AddN(3, 5)
+	for i := 0; i < 5; i++ {
+		b.Add(3)
+	}
+	if a.Count() != b.Count() || a.Mean() != b.Mean() {
+		t.Fatal("AddN differs from repeated Add")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 5) // bins [0,10) .. [40,50)
+	for _, x := range []float64{1, 5, 15, 25, 45, 99, -3} {
+		h.Add(x)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Bin(0) != 3 { // 1, 5, clamped -3
+		t.Fatalf("bin 0 = %d, want 3", h.Bin(0))
+	}
+	if h.Bin(1) != 1 || h.Bin(2) != 1 || h.Bin(4) != 1 {
+		t.Fatalf("bins = %d %d %d", h.Bin(1), h.Bin(2), h.Bin(4))
+	}
+	if h.Overflow() != 1 {
+		t.Fatalf("Overflow = %d", h.Overflow())
+	}
+	if h.Max() != 99 {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	// 50th percentile: the 4th of 7 samples falls in bin [10,20).
+	if p := h.Percentile(50); p != 20 {
+		t.Fatalf("P50 = %v, want 20", p)
+	}
+	if p := h.Percentile(100); p != 99 {
+		t.Fatalf("P100 = %v, want 99 (exact max)", p)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 5) },
+		func() { NewHistogram(1, 0) },
+		func() { NewHistogram(1, 1).Percentile(0) },
+		func() { NewHistogram(1, 1).Percentile(101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if p := Percentile(xs, 50); p != 3 {
+		t.Fatalf("P50 = %v, want 3", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Fatalf("P100 = %v, want 5", p)
+	}
+	if p := Percentile(xs, 20); p != 1 {
+		t.Fatalf("P20 = %v, want 1", p)
+	}
+	// Input must be unmodified.
+	if xs[0] != 5 || xs[4] != 3 {
+		t.Fatal("Percentile mutated its input")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile != 0")
+	}
+}
+
+func TestMeanGeoMeanMinMax(t *testing.T) {
+	xs := []float64{1, 2, 4}
+	if Mean(xs) != 7.0/3 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if !almostEqual(GeoMean(xs), 2, 1e-12) {
+		t.Fatalf("GeoMean = %v, want 2", GeoMean(xs))
+	}
+	if Max(xs) != 4 || Min(xs) != 1 {
+		t.Fatalf("Max/Min = %v/%v", Max(xs), Min(xs))
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 || GeoMean(nil) != 0 {
+		t.Fatal("empty-slice helpers not zero")
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeoMean accepted zero")
+		}
+	}()
+	GeoMean([]float64{1, 0, 2})
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{2, 4, 8}, 1)
+	want := []float64{0.5, 1, 2}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Normalize = %v, want %v", out, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Normalize accepted zero baseline")
+		}
+	}()
+	Normalize([]float64{0, 1}, 0)
+}
+
+func TestClamp01(t *testing.T) {
+	cases := map[float64]float64{-1: 0, 0: 0, 0.5: 0.5, 1: 1, 2: 1}
+	for in, want := range cases {
+		if got := Clamp01(in); got != want {
+			t.Errorf("Clamp01(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Value() != 0 {
+		t.Fatal("unset EWMA not zero")
+	}
+	e.Add(10) // seeds
+	if e.Value() != 10 {
+		t.Fatalf("seed = %v", e.Value())
+	}
+	e.Add(20)
+	if e.Value() != 15 {
+		t.Fatalf("after 20: %v, want 15", e.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewEWMA accepted alpha 0")
+		}
+	}()
+	NewEWMA(0)
+}
+
+func TestQuickAccumulatorMeanBounds(t *testing.T) {
+	// Property: min <= mean <= max, variance >= 0.
+	rng := rand.New(rand.NewSource(5))
+	f := func(n8 uint8) bool {
+		n := int(n8)%100 + 1
+		var a Accumulator
+		for i := 0; i < n; i++ {
+			a.Add(rng.NormFloat64() * 100)
+		}
+		return a.Min() <= a.Mean()+1e-9 && a.Mean() <= a.Max()+1e-9 && a.Variance() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+package synfull
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The nine Table 1 workload models. Each is a hand-parameterized behavioural
+// characterization of the named application (see the package comment); the
+// parameters were chosen so that the high-injection group sustains more than
+// 0.05 flits/cycle/node on the 64-CU system and the low-injection group does
+// not, matching Fig. 11's grouping criterion.
+var catalog = []*Model{
+	{
+		Name: "dct", Suite: "AMD SDK",
+		// Blocked DCT: long compute phases on cached blocks with short
+		// transform-boundary bursts.
+		Phases: []Phase{
+			{Name: "compute", MemRatio: 0.18, WriteRatio: 0.25, L1Hit: 0.82, L2Hit: 0.75,
+				CoherenceRate: 0.0004, CPUMemRate: 0.02, LLCHit: 0.80, Next: []float64{0.85, 0.15}},
+			{Name: "block-swap", MemRatio: 0.40, WriteRatio: 0.45, L1Hit: 0.55, L2Hit: 0.65,
+				CoherenceRate: 0.0010, CPUMemRate: 0.03, LLCHit: 0.75, Next: []float64{0.60, 0.40}},
+		},
+		PhaseLen: 300, OpsPerCU: 3000, OpsPerCPU: 900, IssueWidth: 1, Window: 16,
+		HighInjection: false,
+	},
+	{
+		Name: "histogram", Suite: "AMD SDK",
+		// Bin updates: write-heavy, poor L1 locality on the shared bins,
+		// frequent coherence on the merged histogram.
+		Phases: []Phase{
+			{Name: "scatter", MemRatio: 0.50, WriteRatio: 0.55, L1Hit: 0.35, L2Hit: 0.60,
+				CoherenceRate: 0.0030, CPUMemRate: 0.04, LLCHit: 0.70, Next: []float64{0.80, 0.20}},
+			{Name: "merge", MemRatio: 0.35, WriteRatio: 0.30, L1Hit: 0.50, L2Hit: 0.55,
+				CoherenceRate: 0.0050, CPUMemRate: 0.05, LLCHit: 0.65, Next: []float64{0.50, 0.50}},
+		},
+		PhaseLen: 250, OpsPerCU: 2600, OpsPerCPU: 1000, IssueWidth: 1, Window: 16,
+		HighInjection: true,
+	},
+	{
+		Name: "matrixmul", Suite: "AMD SDK",
+		// Tiled GEMM: dominated by reuse out of L1, light steady traffic.
+		Phases: []Phase{
+			{Name: "tile", MemRatio: 0.22, WriteRatio: 0.15, L1Hit: 0.90, L2Hit: 0.80,
+				CoherenceRate: 0.0002, CPUMemRate: 0.015, LLCHit: 0.85, Next: []float64{0.90, 0.10}},
+			{Name: "tile-load", MemRatio: 0.45, WriteRatio: 0.10, L1Hit: 0.50, L2Hit: 0.70,
+				CoherenceRate: 0.0005, CPUMemRate: 0.02, LLCHit: 0.80, Next: []float64{0.70, 0.30}},
+		},
+		PhaseLen: 400, OpsPerCU: 3200, OpsPerCPU: 800, IssueWidth: 1, Window: 16,
+		HighInjection: false,
+	},
+	{
+		Name: "reduction", Suite: "AMD SDK",
+		// Tree reduction: streaming read phase, then narrowing combine
+		// rounds with falling locality.
+		Phases: []Phase{
+			{Name: "stream", MemRatio: 0.55, WriteRatio: 0.20, L1Hit: 0.40, L2Hit: 0.55,
+				CoherenceRate: 0.0015, CPUMemRate: 0.03, LLCHit: 0.75, Next: []float64{0.70, 0.30}},
+			{Name: "combine", MemRatio: 0.40, WriteRatio: 0.35, L1Hit: 0.55, L2Hit: 0.50,
+				CoherenceRate: 0.0025, CPUMemRate: 0.04, LLCHit: 0.70, Next: []float64{0.45, 0.55}},
+		},
+		PhaseLen: 220, OpsPerCU: 2400, OpsPerCPU: 900, IssueWidth: 1, Window: 16,
+		HighInjection: true,
+	},
+	{
+		Name: "spmv", Suite: "OpenDwarfs",
+		// Sparse matrix-vector product: irregular gathers, little reuse,
+		// memory bound throughout.
+		Phases: []Phase{
+			{Name: "gather", MemRatio: 0.60, WriteRatio: 0.12, L1Hit: 0.42, L2Hit: 0.45,
+				CoherenceRate: 0.0012, CPUMemRate: 0.035, LLCHit: 0.70, Next: []float64{0.88, 0.12}},
+			{Name: "row-end", MemRatio: 0.35, WriteRatio: 0.40, L1Hit: 0.60, L2Hit: 0.55,
+				CoherenceRate: 0.0020, CPUMemRate: 0.04, LLCHit: 0.70, Next: []float64{0.75, 0.25}},
+		},
+		PhaseLen: 260, OpsPerCU: 2400, OpsPerCPU: 1100, IssueWidth: 1, Window: 16,
+		HighInjection: true,
+	},
+	{
+		Name: "bfs", Suite: "Rodinia",
+		// Breadth-first search: bursty frontier expansion alternating with
+		// low-activity level boundaries; the paper trains its APU agent on
+		// this model (Fig. 7).
+		Phases: []Phase{
+			{Name: "frontier", MemRatio: 0.58, WriteRatio: 0.30, L1Hit: 0.38, L2Hit: 0.48,
+				CoherenceRate: 0.0028, CPUMemRate: 0.05, LLCHit: 0.65, Next: []float64{0.75, 0.25}},
+			{Name: "level-sync", MemRatio: 0.20, WriteRatio: 0.50, L1Hit: 0.60, L2Hit: 0.60,
+				CoherenceRate: 0.0040, CPUMemRate: 0.06, LLCHit: 0.60, Next: []float64{0.65, 0.35}},
+		},
+		PhaseLen: 200, OpsPerCU: 2200, OpsPerCPU: 1200, IssueWidth: 1, Window: 16,
+		HighInjection: true,
+	},
+	{
+		Name: "hotspot", Suite: "Rodinia",
+		// Structured stencil: regular neighbour reads with good tile reuse.
+		Phases: []Phase{
+			{Name: "stencil", MemRatio: 0.28, WriteRatio: 0.30, L1Hit: 0.74, L2Hit: 0.72,
+				CoherenceRate: 0.0006, CPUMemRate: 0.02, LLCHit: 0.80, Next: []float64{0.88, 0.12}},
+			{Name: "halo", MemRatio: 0.45, WriteRatio: 0.25, L1Hit: 0.52, L2Hit: 0.60,
+				CoherenceRate: 0.0012, CPUMemRate: 0.025, LLCHit: 0.78, Next: []float64{0.70, 0.30}},
+		},
+		PhaseLen: 320, OpsPerCU: 2800, OpsPerCPU: 850, IssueWidth: 1, Window: 16,
+		HighInjection: false,
+	},
+	{
+		Name: "comd", Suite: "HPC proxy",
+		// Molecular dynamics proxy: force computation out of cache with
+		// periodic neighbour-list exchanges.
+		Phases: []Phase{
+			{Name: "force", MemRatio: 0.25, WriteRatio: 0.20, L1Hit: 0.80, L2Hit: 0.70,
+				CoherenceRate: 0.0005, CPUMemRate: 0.03, LLCHit: 0.82, Next: []float64{0.85, 0.15}},
+			{Name: "exchange", MemRatio: 0.50, WriteRatio: 0.40, L1Hit: 0.45, L2Hit: 0.55,
+				CoherenceRate: 0.0020, CPUMemRate: 0.05, LLCHit: 0.72, Next: []float64{0.55, 0.45}},
+		},
+		PhaseLen: 280, OpsPerCU: 3000, OpsPerCPU: 1300, IssueWidth: 1, Window: 16,
+		HighInjection: false,
+	},
+	{
+		Name: "minife", Suite: "HPC proxy",
+		// Finite-element CG solve: repeated SpMV plus dot products, memory
+		// bound with modest CPU orchestration traffic.
+		Phases: []Phase{
+			{Name: "spmv", MemRatio: 0.55, WriteRatio: 0.15, L1Hit: 0.45, L2Hit: 0.48,
+				CoherenceRate: 0.0010, CPUMemRate: 0.045, LLCHit: 0.68, Next: []float64{0.82, 0.18}},
+			{Name: "dot", MemRatio: 0.42, WriteRatio: 0.10, L1Hit: 0.55, L2Hit: 0.52,
+				CoherenceRate: 0.0018, CPUMemRate: 0.05, LLCHit: 0.66, Next: []float64{0.60, 0.40}},
+		},
+		PhaseLen: 240, OpsPerCU: 2400, OpsPerCPU: 1400, IssueWidth: 1, Window: 16,
+		HighInjection: true,
+	},
+}
+
+func init() {
+	for _, m := range catalog {
+		m.validate()
+	}
+}
+
+// Catalog returns the nine Table 1 workload models in a stable order.
+func Catalog() []*Model { return append([]*Model(nil), catalog...) }
+
+// ByName returns the named model or an error listing the available names.
+func ByName(name string) (*Model, error) {
+	for _, m := range catalog {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("synfull: unknown model %q (have %v)", name, Names())
+}
+
+// Names returns the catalog model names in order.
+func Names() []string {
+	out := make([]string, len(catalog))
+	for i, m := range catalog {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// HighInjection returns the models classified as high-injection
+// (> 0.05 flits/cycle/node), sorted by name.
+func HighInjection() []*Model { return byClass(true) }
+
+// LowInjection returns the models classified as low-injection, sorted by
+// name.
+func LowInjection() []*Model { return byClass(false) }
+
+func byClass(high bool) []*Model {
+	var out []*Model
+	for _, m := range catalog {
+		if m.HighInjection == high {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Mix returns a Fig. 11 workload mix with the given number of low- and
+// high-injection applications (low+high must equal 4): the first `low`
+// models from the low-injection group and the first `high` from the
+// high-injection group, deterministic per (low, high).
+func Mix(low, high int) ([]*Model, error) {
+	if low < 0 || high < 0 || low+high != 4 {
+		return nil, fmt.Errorf("synfull: mix needs low+high == 4, got %d+%d", low, high)
+	}
+	ls, hs := LowInjection(), HighInjection()
+	if low > len(ls) || high > len(hs) {
+		return nil, fmt.Errorf("synfull: not enough models for %dL%dH", low, high)
+	}
+	var out []*Model
+	out = append(out, ls[:low]...)
+	out = append(out, hs[:high]...)
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package synth
+
+import "fmt"
+
+// This file constructs the paper's Fig. 8 arbiter datapath as an actual
+// netlist: the P-block computing Algorithm 2's 5-bit priority level from the
+// local-age counter, hop-count field, message-class boost and port-side
+// inversion, plus the select-max tree choosing the winning input buffer.
+// The equivalence property tests prove the P-block bit-exact against the
+// software Algorithm 2 for every reachable input.
+
+// PBlockOptions selects between the exact Algorithm 2 threshold comparison
+// and the paper's single-AND-gate simplification.
+type PBlockOptions struct {
+	// ApproxThreshold uses the paper's Section 4.8 simplification: the
+	// starvation override fires when both local-age MSBs are set (LA >= 24)
+	// instead of Algorithm 2's strict LA > 24, trading one comparison case
+	// at LA == 24 for a single AND gate.
+	ApproxThreshold bool
+}
+
+// BuildPBlock constructs the Fig. 8 P-block.
+//
+// Inputs: la0..la4 (5-bit local age), hc0..hc3 (4-bit hop count),
+// boost (message is coherence or response), invert (input port is on the
+// hop-descending side). Outputs: p0..p4, the 5-bit priority level.
+func BuildPBlock(opt PBlockOptions) *Netlist {
+	b := NewBuilder()
+	la := b.InputBus("la", 5)
+	hc := b.InputBus("hc", 4)
+	boost := b.Input("boost")
+	invert := b.Input("invert")
+
+	// Starvation override condition.
+	starve := b.And(la[4], la[3]) // LA >= 24 (both MSBs set)
+	if !opt.ApproxThreshold {
+		// Strict LA > 24: additionally require a low bit set.
+		low := b.Or(la[0], b.Or(la[1], la[2]))
+		starve = b.And(starve, low)
+	}
+
+	// Conditional hop-count inversion: XOR with the invert line computes
+	// hc or 15-hc (Algorithm 2 lines 6-18).
+	base := b.XorBus(invert, hc)
+
+	// Class boost: shift left by one (pure wiring) when boost is set.
+	// 5-bit result: plain = {0, base}, shifted = {base, 0}.
+	plain := []Wire{base[0], base[1], base[2], base[3], WireFalse}
+	shifted := []Wire{WireFalse, base[0], base[1], base[2], base[3]}
+	boosted := b.MuxBus(boost, plain, shifted)
+
+	// Final mux: starving messages present their local age directly.
+	p := b.MuxBus(starve, boosted, la)
+	b.OutputBus("p", p)
+	return b.Build()
+}
+
+// PBlockPriority evaluates a P-block netlist for concrete field values.
+func PBlockPriority(nl *Netlist, la, hc int, boost, invert bool) int {
+	in := map[string]uint64{
+		"la": uint64(la),
+		"hc": uint64(hc),
+	}
+	if boost {
+		in["boost"] = 1
+	}
+	if invert {
+		in["invert"] = 1
+	}
+	return int(nl.EvalUint(in, "p"))
+}
+
+// BuildSelectMax constructs an n-way select-max tournament over 5-bit
+// priorities: inputs i<k>_0..i<k>_4 for k in [0,n); outputs max0..max4 (the
+// winning priority) and idx0.. (the winner's index, lowest index on ties).
+func BuildSelectMax(n, width int) *Netlist {
+	if n < 1 {
+		panic("synth: select-max needs at least one input")
+	}
+	b := NewBuilder()
+	type entry struct {
+		val []Wire
+		idx []Wire
+	}
+	idxBits := 1
+	for 1<<idxBits < n {
+		idxBits++
+	}
+	entries := make([]entry, n)
+	for k := 0; k < n; k++ {
+		e := entry{val: b.InputBus(fmt.Sprintf("i%d_", k), width)}
+		e.idx = make([]Wire, idxBits)
+		for j := range e.idx {
+			if k&(1<<j) != 0 {
+				e.idx[j] = WireTrue
+			} else {
+				e.idx[j] = WireFalse
+			}
+		}
+		entries[k] = e
+	}
+	// Tournament reduction; ties keep the earlier (lower-index) entry.
+	for len(entries) > 1 {
+		var next []entry
+		for i := 0; i+1 < len(entries); i += 2 {
+			a, c := entries[i], entries[i+1]
+			sel := b.GreaterThan(c.val, a.val) // strict: ties keep a
+			next = append(next, entry{
+				val: b.MuxBus(sel, a.val, c.val),
+				idx: b.MuxBus(sel, a.idx, c.idx),
+			})
+		}
+		if len(entries)%2 == 1 {
+			next = append(next, entries[len(entries)-1])
+		}
+		entries = next
+	}
+	b.OutputBus("max", entries[0].val)
+	b.OutputBus("idx", entries[0].idx)
+	return b.Build()
+}
+
+// SelectMaxEval evaluates a select-max netlist over concrete priorities,
+// returning the winning index and value.
+func SelectMaxEval(nl *Netlist, pris []int) (idx, max int) {
+	in := make(map[string]uint64, len(pris))
+	for k, p := range pris {
+		in[fmt.Sprintf("i%d_", k)] = uint64(p)
+	}
+	return int(nl.EvalUint(in, "idx")), int(nl.EvalUint(in, "max"))
+}

@@ -1,0 +1,232 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// algorithm2 is the software reference for the P-block: Algorithm 2's
+// priority arithmetic (mirrors core.RLInspiredAPU.Priority; duplicated here
+// as an independent oracle so a shared bug cannot hide).
+func algorithm2(la, hc int, boost, invert bool) int {
+	if la > 24 {
+		return la
+	}
+	base := hc
+	if invert {
+		base = 15 - hc
+	}
+	if boost {
+		return base << 1
+	}
+	return base
+}
+
+// TestPBlockExhaustiveEquivalence proves the exact-threshold P-block netlist
+// bit-identical to Algorithm 2 over its entire input space (5-bit age, 4-bit
+// hop count, two mode bits: 2048 cases).
+func TestPBlockExhaustiveEquivalence(t *testing.T) {
+	nl := BuildPBlock(PBlockOptions{})
+	for la := 0; la < 32; la++ {
+		for hc := 0; hc < 16; hc++ {
+			for _, boost := range []bool{false, true} {
+				for _, invert := range []bool{false, true} {
+					want := algorithm2(la, hc, boost, invert)
+					got := PBlockPriority(nl, la, hc, boost, invert)
+					if got != want {
+						t.Fatalf("P-block(la=%d hc=%d boost=%v invert=%v) = %d, want %d",
+							la, hc, boost, invert, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPBlockApproxThreshold: the paper's single-AND-gate simplification
+// differs from Algorithm 2 only at LA == 24, where it fires the override
+// early.
+func TestPBlockApproxThreshold(t *testing.T) {
+	nl := BuildPBlock(PBlockOptions{ApproxThreshold: true})
+	diffs := 0
+	for la := 0; la < 32; la++ {
+		for hc := 0; hc < 16; hc++ {
+			for _, boost := range []bool{false, true} {
+				for _, invert := range []bool{false, true} {
+					want := algorithm2(la, hc, boost, invert)
+					got := PBlockPriority(nl, la, hc, boost, invert)
+					if got != want {
+						if la != 24 {
+							t.Fatalf("approx P-block differs at la=%d (not 24)", la)
+						}
+						if got != 24 {
+							t.Fatalf("approx override at la=24 returned %d, want 24", got)
+						}
+						diffs++
+					}
+				}
+			}
+		}
+	}
+	if diffs == 0 {
+		t.Fatal("approx threshold never differed; simplification not exercised")
+	}
+}
+
+// TestPBlockCost: the netlist's own gate count and depth validate the cost
+// model's P-block component (35 gates, depth 6 — same magnitude, not exact,
+// since the model counts NAND2 equivalents).
+func TestPBlockCost(t *testing.T) {
+	nl := BuildPBlock(PBlockOptions{ApproxThreshold: true})
+	if g := nl.NumGates(); g < 15 || g > 70 {
+		t.Fatalf("P-block gate count %d outside the modeled magnitude", g)
+	}
+	if d := nl.Depth(); d < 3 || d > 12 {
+		t.Fatalf("P-block depth %d outside the modeled magnitude", d)
+	}
+}
+
+func TestSelectMaxExhaustiveSmall(t *testing.T) {
+	nl := BuildSelectMax(3, 3) // 3 inputs, 3-bit values: 512 cases
+	for a := 0; a < 8; a++ {
+		for b := 0; b < 8; b++ {
+			for c := 0; c < 8; c++ {
+				idx, max := SelectMaxEval(nl, []int{a, b, c})
+				vals := []int{a, b, c}
+				wantMax, wantIdx := a, 0
+				for i, v := range vals {
+					if v > wantMax {
+						wantMax, wantIdx = v, i
+					}
+				}
+				if max != wantMax {
+					t.Fatalf("max(%d,%d,%d) = %d, want %d", a, b, c, max, wantMax)
+				}
+				if idx != wantIdx {
+					t.Fatalf("argmax(%d,%d,%d) = %d, want %d (lowest-index tie-break)",
+						a, b, c, idx, wantIdx)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickSelectMax42(t *testing.T) {
+	// The full router-scale tree: 42 inputs of 5 bits.
+	nl := BuildSelectMax(42, 5)
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pris := make([]int, 42)
+		for i := range pris {
+			pris[i] = r.Intn(32)
+		}
+		idx, max := SelectMaxEval(nl, pris)
+		wantMax, wantIdx := pris[0], 0
+		for i, v := range pris {
+			if v > wantMax {
+				wantMax, wantIdx = v, i
+			}
+		}
+		return max == wantMax && idx == wantIdx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetlistBuilderBasics(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input("x")
+	y := b.Input("y")
+	b.Output("and", b.And(x, y))
+	b.Output("or", b.Or(x, y))
+	b.Output("xor", b.Xor(x, y))
+	b.Output("notx", b.Not(x))
+	nl := b.Build()
+	for _, tc := range []struct {
+		x, y               bool
+		and, or, xor, notx bool
+	}{
+		{false, false, false, false, false, true},
+		{true, false, false, true, true, false},
+		{false, true, false, true, true, true},
+		{true, true, true, true, false, false},
+	} {
+		out := nl.Eval(map[string]bool{"x": tc.x, "y": tc.y})
+		if out["and"] != tc.and || out["or"] != tc.or ||
+			out["xor"] != tc.xor || out["notx"] != tc.notx {
+			t.Fatalf("x=%v y=%v: got %v", tc.x, tc.y, out)
+		}
+	}
+	if len(nl.InputNames()) != 2 || len(nl.OutputNames()) != 4 {
+		t.Fatal("name bookkeeping wrong")
+	}
+}
+
+func TestGreaterThanExhaustive(t *testing.T) {
+	b := NewBuilder()
+	x := b.InputBus("x", 4)
+	y := b.InputBus("y", 4)
+	b.Output("gt", b.GreaterThan(x, y))
+	nl := b.Build()
+	for a := 0; a < 16; a++ {
+		for c := 0; c < 16; c++ {
+			out := nl.EvalUint(map[string]uint64{"x": uint64(a), "y": uint64(c)}, "gt")
+			want := uint64(0)
+			if a > c {
+				want = 1
+			}
+			if out != want {
+				t.Fatalf("%d > %d = %d, want %d", a, c, out, want)
+			}
+		}
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { b := NewBuilder(); b.Input("a"); b.Input("a") },
+		func() {
+			b := NewBuilder()
+			w := b.Input("a")
+			b.Output("o", w)
+			b.Output("o", w)
+		},
+		func() { b := NewBuilder(); b.MuxBus(WireTrue, []Wire{WireFalse}, nil) },
+		func() { b := NewBuilder(); b.GreaterThan([]Wire{WireTrue}, nil) },
+		func() { BuildSelectMax(0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEvalUnknownNamesPanic(t *testing.T) {
+	b := NewBuilder()
+	b.Output("o", b.Input("a"))
+	nl := b.Build()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown input accepted")
+			}
+		}()
+		nl.Eval(map[string]bool{"zzz": true})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown output bus accepted")
+			}
+		}()
+		nl.EvalUint(map[string]uint64{"a": 1}, "nope")
+	}()
+}

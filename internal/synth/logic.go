@@ -1,0 +1,289 @@
+package synth
+
+import "fmt"
+
+// This file implements a small functional gate-level simulator: combinational
+// netlists built from NOT/AND/OR/XOR gates, evaluated bit by bit. It exists
+// so the paper's Fig. 8 arbiter circuit can be constructed gate by gate and
+// proven bit-exact against Algorithm 2 (see fig8.go and the equivalence
+// property tests) — the step the paper describes as "distilling everything
+// down to logic gates".
+
+// Wire identifies a net in a Netlist.
+type Wire int
+
+// Constant wires available in every netlist.
+const (
+	// WireFalse is the constant-0 net.
+	WireFalse Wire = 0
+	// WireTrue is the constant-1 net.
+	WireTrue Wire = 1
+)
+
+type gateKind uint8
+
+const (
+	gateNot gateKind = iota
+	gateAnd
+	gateOr
+	gateXor
+)
+
+type gate struct {
+	kind gateKind
+	a, b Wire
+	out  Wire
+}
+
+// Builder assembles a combinational netlist. Create one with NewBuilder, add
+// inputs and gates, mark outputs, then Build.
+type Builder struct {
+	nextWire int
+	gates    []gate
+	inputs   map[string]Wire
+	inOrder  []string
+	outputs  map[string]Wire
+	outOrder []string
+	depth    map[Wire]int
+}
+
+// NewBuilder returns an empty builder with the two constant wires allocated.
+func NewBuilder() *Builder {
+	return &Builder{
+		nextWire: 2,
+		inputs:   make(map[string]Wire),
+		outputs:  make(map[string]Wire),
+		depth:    map[Wire]int{WireFalse: 0, WireTrue: 0},
+	}
+}
+
+func (b *Builder) alloc() Wire {
+	w := Wire(b.nextWire)
+	b.nextWire++
+	return w
+}
+
+// Input declares a named primary input.
+func (b *Builder) Input(name string) Wire {
+	if _, dup := b.inputs[name]; dup {
+		panic("synth: duplicate input " + name)
+	}
+	w := b.alloc()
+	b.inputs[name] = w
+	b.inOrder = append(b.inOrder, name)
+	b.depth[w] = 0
+	return w
+}
+
+// InputBus declares width named inputs "name0".."name<width-1>", LSB first.
+func (b *Builder) InputBus(name string, width int) []Wire {
+	ws := make([]Wire, width)
+	for i := range ws {
+		ws[i] = b.Input(fmt.Sprintf("%s%d", name, i))
+	}
+	return ws
+}
+
+// Output marks a wire as a named primary output.
+func (b *Builder) Output(name string, w Wire) {
+	if _, dup := b.outputs[name]; dup {
+		panic("synth: duplicate output " + name)
+	}
+	b.outputs[name] = w
+	b.outOrder = append(b.outOrder, name)
+}
+
+// OutputBus marks a bus as outputs "name0".., LSB first.
+func (b *Builder) OutputBus(name string, ws []Wire) {
+	for i, w := range ws {
+		b.Output(fmt.Sprintf("%s%d", name, i), w)
+	}
+}
+
+func (b *Builder) gate2(kind gateKind, x, y Wire) Wire {
+	out := b.alloc()
+	b.gates = append(b.gates, gate{kind: kind, a: x, b: y, out: out})
+	d := b.depth[x]
+	if dy := b.depth[y]; dy > d {
+		d = dy
+	}
+	b.depth[out] = d + 1
+	return out
+}
+
+// Not returns !x.
+func (b *Builder) Not(x Wire) Wire { return b.gate2(gateNot, x, WireFalse) }
+
+// And returns x && y.
+func (b *Builder) And(x, y Wire) Wire { return b.gate2(gateAnd, x, y) }
+
+// Or returns x || y.
+func (b *Builder) Or(x, y Wire) Wire { return b.gate2(gateOr, x, y) }
+
+// Xor returns x != y.
+func (b *Builder) Xor(x, y Wire) Wire { return b.gate2(gateXor, x, y) }
+
+// Mux returns sel ? hi : lo.
+func (b *Builder) Mux(sel, lo, hi Wire) Wire {
+	return b.Or(b.And(sel, hi), b.And(b.Not(sel), lo))
+}
+
+// MuxBus muxes two equal-width buses.
+func (b *Builder) MuxBus(sel Wire, lo, hi []Wire) []Wire {
+	if len(lo) != len(hi) {
+		panic("synth: MuxBus width mismatch")
+	}
+	out := make([]Wire, len(lo))
+	for i := range lo {
+		out[i] = b.Mux(sel, lo[i], hi[i])
+	}
+	return out
+}
+
+// XorBus XORs every bit of a bus with sel (conditional bit inversion — the
+// trick Fig. 8 uses for the hop-count "15-HC" path).
+func (b *Builder) XorBus(sel Wire, bus []Wire) []Wire {
+	out := make([]Wire, len(bus))
+	for i := range bus {
+		out[i] = b.Xor(sel, bus[i])
+	}
+	return out
+}
+
+// GreaterThan returns a > b for two equal-width unsigned buses (LSB first):
+// a classic ripple comparator from the MSB down.
+func (b *Builder) GreaterThan(x, y []Wire) Wire {
+	if len(x) != len(y) {
+		panic("synth: comparator width mismatch")
+	}
+	gt := WireFalse
+	eq := WireTrue
+	for i := len(x) - 1; i >= 0; i-- {
+		bitGT := b.And(x[i], b.Not(y[i]))
+		gt = b.Or(gt, b.And(eq, bitGT))
+		eq = b.And(eq, b.Not(b.Xor(x[i], y[i])))
+	}
+	return gt
+}
+
+// Netlist is a built combinational circuit.
+type Netlist struct {
+	gates    []gate
+	nWires   int
+	inputs   map[string]Wire
+	inOrder  []string
+	outputs  map[string]Wire
+	outOrder []string
+	maxDepth int
+}
+
+// Build freezes the builder into an evaluable netlist.
+func (b *Builder) Build() *Netlist {
+	maxDepth := 0
+	for _, name := range b.outOrder {
+		if d := b.depth[b.outputs[name]]; d > maxDepth {
+			maxDepth = d
+		}
+	}
+	return &Netlist{
+		gates:    b.gates,
+		nWires:   b.nextWire,
+		inputs:   b.inputs,
+		inOrder:  b.inOrder,
+		outputs:  b.outputs,
+		outOrder: b.outOrder,
+		maxDepth: maxDepth,
+	}
+}
+
+// NumGates returns the gate count of the netlist.
+func (n *Netlist) NumGates() int { return len(n.gates) }
+
+// Depth returns the logic depth (gate levels) to the deepest output.
+func (n *Netlist) Depth() int { return n.maxDepth }
+
+// InputNames returns the primary inputs in declaration order.
+func (n *Netlist) InputNames() []string { return n.inOrder }
+
+// OutputNames returns the primary outputs in declaration order.
+func (n *Netlist) OutputNames() []string { return n.outOrder }
+
+// Eval evaluates the circuit for the given input assignment. Missing inputs
+// default to false; unknown names panic.
+func (n *Netlist) Eval(in map[string]bool) map[string]bool {
+	vals := make([]bool, n.nWires)
+	vals[WireTrue] = true
+	for name, v := range in {
+		w, ok := n.inputs[name]
+		if !ok {
+			panic("synth: unknown input " + name)
+		}
+		vals[w] = v
+	}
+	for _, g := range n.gates {
+		switch g.kind {
+		case gateNot:
+			vals[g.out] = !vals[g.a]
+		case gateAnd:
+			vals[g.out] = vals[g.a] && vals[g.b]
+		case gateOr:
+			vals[g.out] = vals[g.a] || vals[g.b]
+		case gateXor:
+			vals[g.out] = vals[g.a] != vals[g.b]
+		}
+	}
+	out := make(map[string]bool, len(n.outputs))
+	for name, w := range n.outputs {
+		out[name] = vals[w]
+	}
+	return out
+}
+
+// EvalUint evaluates the circuit with unsigned-integer convenience: each
+// entry of in assigns a bus ("la" -> la0..laN) or a single input, and the
+// named output bus is decoded back to an integer (missing bits are treated
+// as single-bit outputs).
+func (n *Netlist) EvalUint(in map[string]uint64, outBus string) uint64 {
+	bits := make(map[string]bool)
+	for name, v := range in {
+		if w, ok := n.inputs[name]; ok && v <= 1 {
+			_ = w
+			bits[name] = v == 1
+			continue
+		}
+		// Bus assignment: name0, name1, ...
+		for i := 0; ; i++ {
+			bit := fmt.Sprintf("%s%d", name, i)
+			if _, ok := n.inputs[bit]; !ok {
+				if i == 0 {
+					panic("synth: unknown input or bus " + name)
+				}
+				break
+			}
+			bits[bit] = v&(1<<i) != 0
+		}
+	}
+	out := n.Eval(bits)
+	// A single named output decodes as one bit.
+	if v, ok := out[outBus]; ok {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	var val uint64
+	for i := 0; ; i++ {
+		bit := fmt.Sprintf("%s%d", outBus, i)
+		v, ok := out[bit]
+		if !ok {
+			if i == 0 {
+				panic("synth: unknown output bus " + outBus)
+			}
+			break
+		}
+		if v {
+			val |= 1 << i
+		}
+	}
+	return val
+}

@@ -1,0 +1,245 @@
+// Package viz renders experiment results as plain text: shaded ASCII
+// heatmaps (for the paper's Figs. 4 and 7 weight visualizations), aligned
+// result tables, series tables for training curves, and CSV export.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// shades orders cells from lightest to darkest, mirroring the paper's
+// "darker pixel = higher magnitude" convention.
+var shades = []byte(" .:-=+*#%@")
+
+// shade maps v in [0, max] to a shade character.
+func shade(v, max float64) byte {
+	if max <= 0 || math.IsNaN(v) {
+		return shades[0]
+	}
+	i := int(v / max * float64(len(shades)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(shades) {
+		i = len(shades) - 1
+	}
+	return shades[i]
+}
+
+// Heatmap renders a shaded grid with row and column labels. Values are
+// normalized to the grid's maximum absolute value. Column labels are grouped:
+// consecutive labels sharing the prefix before the last '.' are printed once.
+func Heatmap(rowLabels, colLabels []string, values [][]float64) string {
+	if len(values) == 0 {
+		return "(empty heatmap)\n"
+	}
+	maxAbs := 0.0
+	for _, row := range values {
+		for _, v := range row {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+	}
+	labelW := 0
+	for _, l := range rowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+
+	var b strings.Builder
+	// Column group header: one segment per port prefix.
+	b.WriteString(strings.Repeat(" ", labelW+2))
+	i := 0
+	for i < len(colLabels) {
+		prefix := groupPrefix(colLabels[i])
+		j := i
+		for j < len(colLabels) && groupPrefix(colLabels[j]) == prefix {
+			j++
+		}
+		seg := prefix
+		width := j - i
+		if len(seg) > width {
+			seg = seg[:width]
+		}
+		b.WriteString(seg)
+		b.WriteString(strings.Repeat(" ", width-len(seg)))
+		i = j
+	}
+	b.WriteByte('\n')
+
+	for r, row := range values {
+		label := ""
+		if r < len(rowLabels) {
+			label = rowLabels[r]
+		}
+		fmt.Fprintf(&b, "%-*s |", labelW, label)
+		for _, v := range row {
+			b.WriteByte(shade(math.Abs(v), maxAbs))
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "%-*s  scale: ' '=0 .. '@'=%.4f\n", labelW, "", maxAbs)
+	return b.String()
+}
+
+func groupPrefix(label string) string {
+	if i := strings.LastIndexByte(label, '.'); i >= 0 {
+		return label[:i]
+	}
+	return label
+}
+
+// HeatmapCSV renders the grid as CSV with labels.
+func HeatmapCSV(rowLabels, colLabels []string, values [][]float64) string {
+	var b strings.Builder
+	b.WriteString("feature")
+	for _, c := range colLabels {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for r, row := range values {
+		label := ""
+		if r < len(rowLabels) {
+			label = rowLabels[r]
+		}
+		b.WriteString(label)
+		for _, v := range row {
+			fmt.Fprintf(&b, ",%.6f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table renders rows under headers with aligned columns.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series renders named series over a shared x-axis as an aligned table —
+// the textual form of the paper's line plots (Figs. 12 and 13).
+func Series(xName string, xs []string, names []string, series [][]float64) string {
+	headers := append([]string{xName}, names...)
+	rows := make([][]string, len(xs))
+	for i, x := range xs {
+		row := []string{x}
+		for _, s := range series {
+			if i < len(s) {
+				row = append(row, fmt.Sprintf("%.2f", s[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows[i] = row
+	}
+	return Table(headers, rows)
+}
+
+// Bar renders a labelled horizontal bar chart of values (one row per label),
+// scaled so the largest value spans width characters.
+func Bar(labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxV, labelW := 0.0, 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(v / maxV * float64(width))
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.3f\n", labelW, labels[i], strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// CSV renders headers and rows as comma-separated values. Cells containing
+// commas or quotes are quoted.
+func CSV(headers []string, rows [][]string) string {
+	var b strings.Builder
+	writeCSVRow(&b, headers)
+	for _, r := range rows {
+		writeCSVRow(&b, r)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// MatrixCSV renders a labelled numeric matrix as CSV.
+func MatrixCSV(rowName string, rowLabels, colLabels []string, m [][]float64) string {
+	headers := append([]string{rowName}, colLabels...)
+	rows := make([][]string, len(rowLabels))
+	for i, rl := range rowLabels {
+		cells := []string{rl}
+		for _, v := range m[i] {
+			cells = append(cells, fmt.Sprintf("%g", v))
+		}
+		rows[i] = cells
+	}
+	return CSV(headers, rows)
+}

@@ -1,0 +1,120 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeatmapRendering(t *testing.T) {
+	rows := []string{"local age", "hop count"}
+	cols := []string{"core.0", "core.1", "core.2", "core.3", "west.0", "west.1", "west.2", "west.3"}
+	vals := [][]float64{
+		{0.9, 0.1, 0.5, 0.3, 0.2, 0.6, 0.4, 0.8},
+		{0, -0.9, 0.2, 0.1, 0.7, 0.3, 0.5, 0.2},
+	}
+	out := Heatmap(rows, cols, vals)
+	if !strings.Contains(out, "local age") || !strings.Contains(out, "hop count") {
+		t.Fatalf("missing row labels:\n%s", out)
+	}
+	if !strings.Contains(out, "core") || !strings.Contains(out, "west") {
+		t.Fatalf("missing column groups:\n%s", out)
+	}
+	// Magnitude 0.9 maps to the darkest shade; magnitude 0 to blank.
+	if !strings.Contains(out, "@") {
+		t.Fatalf("max value not darkest:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Each data line has exactly len(cols) cells between the pipes.
+	for _, l := range lines {
+		if i := strings.IndexByte(l, '|'); i >= 0 {
+			j := strings.LastIndexByte(l, '|')
+			if j-i-1 != len(cols) {
+				t.Fatalf("row width %d, want %d: %q", j-i-1, len(cols), l)
+			}
+		}
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	if out := Heatmap(nil, nil, nil); !strings.Contains(out, "empty") {
+		t.Fatalf("empty heatmap rendering: %q", out)
+	}
+}
+
+func TestHeatmapCSV(t *testing.T) {
+	out := HeatmapCSV([]string{"r1"}, []string{"a", "b"}, [][]float64{{1, 2}})
+	want := "feature,a,b\nr1,1.000000,2.000000\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"a", "1"},
+		{"long-name", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+	// All "value" entries start in the same column.
+	col := strings.Index(lines[0], "value")
+	if col < 0 {
+		t.Fatal("header missing")
+	}
+	if lines[2][col] != '1' || lines[3][col] != '2' {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	out := Series("epoch", []string{"1", "2"}, []string{"a", "b"},
+		[][]float64{{1.5, 2.5}, {3.5}})
+	if !strings.Contains(out, "epoch") || !strings.Contains(out, "1.50") {
+		t.Fatalf("series rendering:\n%s", out)
+	}
+	// Short series pad with "-".
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing padding for short series:\n%s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	out := Bar([]string{"x", "yy"}, []float64{2, 4}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("bar lines = %d", len(lines))
+	}
+	if c1, c2 := strings.Count(lines[0], "#"), strings.Count(lines[1], "#"); c2 != 10 || c1 != 5 {
+		t.Fatalf("bar lengths %d/%d, want 5/10:\n%s", c1, c2, out)
+	}
+}
+
+func TestShadeBounds(t *testing.T) {
+	if shade(0, 1) != ' ' {
+		t.Fatal("zero not blank")
+	}
+	if shade(1, 1) != '@' {
+		t.Fatal("max not darkest")
+	}
+	if shade(5, 0) != ' ' { // degenerate max
+		t.Fatal("degenerate max not blank")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV([]string{"a", "b"}, [][]string{{"1", "x,y"}, {"2", `q"z`}})
+	want := "a,b\n1,\"x,y\"\n2,\"q\"\"z\"\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestMatrixCSV(t *testing.T) {
+	out := MatrixCSV("w", []string{"r1"}, []string{"c1", "c2"}, [][]float64{{1.5, 2}})
+	want := "w,c1,c2\nr1,1.5,2\n"
+	if out != want {
+		t.Fatalf("MatrixCSV = %q, want %q", out, want)
+	}
+}
