@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet verify bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the library packages; the obs registry and the parallel sweep
+# telemetry are explicitly exercised under -race by internal/experiments.
+race:
+	$(GO) test -race ./internal/...
+
+vet:
+	$(GO) vet ./...
+
+# The PR gate: everything that must be green before merging.
+verify: vet build test race
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+clean:
+	$(GO) clean ./...

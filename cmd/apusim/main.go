@@ -17,6 +17,7 @@ import (
 	"mlnoc/internal/core"
 	"mlnoc/internal/nn"
 	"mlnoc/internal/noc"
+	"mlnoc/internal/obs"
 	"mlnoc/internal/synfull"
 )
 
@@ -30,6 +31,10 @@ func main() {
 	bufcap := flag.Int("bufcap", 0, "router buffer capacity per VC (0 = default)")
 	seed := flag.Int64("seed", 1, "random seed")
 	nnPath := flag.String("nn", "", "run a saved APU agent network (gob) as the policy")
+	metricsOut := flag.String("metrics-out", "",
+		"write per-router/per-port obs counters (JSON) to this file")
+	watchdog := flag.Int64("watchdog", 0,
+		"flag head messages older than N cycles and N-cycle zero-delivery windows (0 = off)")
 	flag.Parse()
 
 	var models [4]*synfull.Model
@@ -66,8 +71,25 @@ func main() {
 		os.Exit(2)
 	}
 
-	res := apu.RunWorkload(apu.Config{QuadSide: *quadSide, BufferCap: *bufcap}, p, models,
-		apu.RunnerConfig{OpScale: *opscale, Seed: *seed})
+	runCfg := apu.RunnerConfig{OpScale: *opscale, Seed: *seed}
+	if *metricsOut != "" || *watchdog > 0 {
+		cfg := &obs.SuiteConfig{SampleEvery: 4}
+		if *watchdog > 0 {
+			cfg.Watchdog = &obs.WatchdogConfig{
+				MaxHeadAge:     *watchdog,
+				LivelockWindow: *watchdog,
+				OnAlert: func(a obs.Alert) {
+					fmt.Fprintln(os.Stderr, "watchdog: "+a.String())
+				},
+			}
+		}
+		runCfg.Obs = cfg
+	}
+
+	res := apu.RunWorkload(apu.Config{QuadSide: *quadSide, BufferCap: *bufcap}, p, models, runCfg)
+	if res.Obs != nil {
+		reportObs(res.Obs, *metricsOut)
+	}
 	if !res.Finished {
 		fmt.Fprintf(os.Stderr, "workload did not finish within the cycle budget\n")
 		os.Exit(1)
@@ -78,6 +100,30 @@ func main() {
 	fmt.Printf("  avg execution time:  %.0f cycles\n", res.Avg)
 	fmt.Printf("  tail execution time: %.0f cycles\n", res.Tail)
 	fmt.Printf("  avg NoC message latency: %.2f cycles\n", res.AvgLatency)
+}
+
+// reportObs prints the observability summary and writes the JSON snapshot.
+func reportObs(suite *obs.Suite, metricsOut string) {
+	snap := suite.Snapshot()
+	fmt.Printf("obs: %d grants, %d blocked port-cycles, max head age %d, %d in flight\n",
+		snap.TotalGrants(), snap.TotalBlockedCycles(), snap.MaxHeadAge(), snap.InFlight)
+	if w := suite.Watchdog; w != nil && w.Tripped() {
+		fmt.Printf("watchdog: %d alerts\n%s", len(w.Alerts()), w.Summary())
+	}
+	if metricsOut == "" {
+		return
+	}
+	f, err := os.Create(metricsOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := snap.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("(obs metrics written to %s)\n", metricsOut)
 }
 
 func makePolicy(name string, seed int64) (noc.Policy, error) {

@@ -16,6 +16,7 @@ import (
 
 	"mlnoc/internal/core"
 	"mlnoc/internal/experiments"
+	"mlnoc/internal/obs"
 	"mlnoc/internal/synfull"
 	"mlnoc/internal/viz"
 )
@@ -25,6 +26,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	noNN := flag.Bool("no-nn", false, "skip NN training in APU sweeps (faster)")
 	csvDir := flag.String("csv", "", "also write results as CSV files into this directory")
+	metricsOut := flag.String("metrics-out", "",
+		"write per-cell obs snapshots (JSON) of the APU sweeps to this file")
+	watchdog := flag.Int64("watchdog", 0,
+		"attach a watchdog to every sweep cell: flag head messages older than N cycles and N-cycle zero-delivery windows (0 = off)")
+	progress := flag.Bool("progress", false, "print sweep cell progress to stderr")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -52,8 +58,57 @@ func main() {
 		}
 	}
 
+	tel := buildTelemetry(*metricsOut, *watchdog, *progress)
+
 	what := strings.ToLower(flag.Arg(0))
-	run(what, sc, withNN, *csvDir)
+	run(what, sc, withNN, *csvDir, tel)
+
+	if tel != nil && tel.Registry != nil && *metricsOut != "" {
+		writeMetrics(*metricsOut, tel.Registry)
+	}
+	if tel != nil && tel.Registry != nil {
+		for _, a := range tel.Registry.Alerts() {
+			fmt.Fprintln(os.Stderr, "watchdog: "+a)
+		}
+	}
+}
+
+// buildTelemetry assembles the sweep telemetry from the observability flags,
+// or returns nil when none are set.
+func buildTelemetry(metricsOut string, watchdog int64, progress bool) *experiments.Telemetry {
+	if metricsOut == "" && watchdog == 0 && !progress {
+		return nil
+	}
+	tel := &experiments.Telemetry{}
+	if metricsOut != "" || watchdog != 0 {
+		tel.Registry = obs.NewRegistry()
+	}
+	if watchdog > 0 {
+		tel.Watchdog = &obs.WatchdogConfig{
+			MaxHeadAge:     watchdog,
+			LivelockWindow: watchdog,
+		}
+	}
+	if progress {
+		tel.Progress = func(done, total int, label string) {
+			fmt.Fprintf(os.Stderr, "progress: %d/%d %s\n", done, total, label)
+		}
+	}
+	return tel
+}
+
+func writeMetrics(path string, reg *obs.Registry) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := reg.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("(obs metrics written to %s: %d runs)\n", path, reg.Len())
 }
 
 // writeCSV writes one CSV artifact, reporting the path.
@@ -69,7 +124,7 @@ func writeCSV(dir, name, content string) {
 	fmt.Printf("(csv written to %s)\n", path)
 }
 
-func run(what string, sc experiments.Scale, withNN bool, csvDir string) {
+func run(what string, sc experiments.Scale, withNN bool, csvDir string, tel *experiments.Telemetry) {
 	switch what {
 	case "fig4":
 		r := experiments.MeshStudy(4, sc)
@@ -87,22 +142,22 @@ func run(what string, sc experiments.Scale, withNN bool, csvDir string) {
 		fmt.Print(experiments.RenderAPUHeatmap(h))
 		writeCSV(csvDir, "fig7_heatmap.csv", viz.HeatmapCSV(h.RowLabels, h.ColLabels, h.Abs))
 	case "fig9":
-		r := experiments.ExecSweep(sc, withNN)
+		r := experiments.ExecSweepT(sc, withNN, tel)
 		fmt.Print(r.RenderAvg())
 		writeCSV(csvDir, "fig9_avg.csv", r.CSVAvg())
 	case "fig10":
-		r := experiments.ExecSweep(sc, withNN)
+		r := experiments.ExecSweepT(sc, withNN, tel)
 		fmt.Print(r.RenderTail())
 		writeCSV(csvDir, "fig10_tail.csv", r.CSVTail())
 	case "fig9+10", "exec":
-		r := experiments.ExecSweep(sc, withNN)
+		r := experiments.ExecSweepT(sc, withNN, tel)
 		fmt.Print(r.RenderAvg())
 		fmt.Println()
 		fmt.Print(r.RenderTail())
 		writeCSV(csvDir, "fig9_avg.csv", r.CSVAvg())
 		writeCSV(csvDir, "fig10_tail.csv", r.CSVTail())
 	case "fig11":
-		r := experiments.MixedWorkloads(sc, withNN)
+		r := experiments.MixedWorkloadsT(sc, withNN, tel)
 		fmt.Print(r.Render())
 		writeCSV(csvDir, "fig11_mixes.csv", r.CSV())
 	case "fig12":
@@ -122,7 +177,7 @@ func run(what string, sc experiments.Scale, withNN bool, csvDir string) {
 		fmt.Print(r.Render())
 		writeCSV(csvDir, "table3.csv", r.CSV())
 	case "ablation":
-		r := experiments.Ablation(sc)
+		r := experiments.AblationT(sc, tel)
 		fmt.Print(r.Render())
 		writeCSV(csvDir, "ablation.csv", r.CSV())
 	case "starvation":
@@ -155,7 +210,7 @@ func run(what string, sc experiments.Scale, withNN bool, csvDir string) {
 			"hillclimb",
 		} {
 			fmt.Printf("==== %s ====\n", w)
-			run(w, sc, withNN, csvDir)
+			run(w, sc, withNN, csvDir, tel)
 			fmt.Println()
 		}
 	default:

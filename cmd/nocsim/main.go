@@ -16,6 +16,7 @@ import (
 	"mlnoc/internal/core"
 	"mlnoc/internal/nn"
 	"mlnoc/internal/noc"
+	"mlnoc/internal/obs"
 	"mlnoc/internal/traffic"
 )
 
@@ -32,6 +33,10 @@ func main() {
 	bufcap := flag.Int("bufcap", 8, "buffer capacity per VC (messages)")
 	seed := flag.Int64("seed", 1, "random seed")
 	nnPath := flag.String("nn", "", "run a saved agent network (gob) as the policy")
+	metricsOut := flag.String("metrics-out", "",
+		"write per-router/per-port obs counters (JSON) to this file")
+	watchdog := flag.Int64("watchdog", 0,
+		"flag head messages older than N cycles and N-cycle zero-delivery windows (0 = off)")
 	flag.Parse()
 
 	net, cores := noc.BuildMeshCores(noc.Config{
@@ -61,6 +66,21 @@ func main() {
 	in := traffic.NewInjector(cores, pat, *rate, rand.New(rand.NewSource(*seed+1)))
 	in.Classes = *vcs
 
+	var suite *obs.Suite
+	if *metricsOut != "" || *watchdog > 0 {
+		cfg := obs.SuiteConfig{SampleEvery: 1}
+		if *watchdog > 0 {
+			cfg.Watchdog = &obs.WatchdogConfig{
+				MaxHeadAge:     *watchdog,
+				LivelockWindow: *watchdog,
+				OnAlert: func(a obs.Alert) {
+					fmt.Fprintln(os.Stderr, "watchdog: "+a.String())
+				},
+			}
+		}
+		suite = obs.Attach(net, cfg)
+	}
+
 	res := traffic.Run(net, in, *warmup, *cycles)
 	st := net.Stats()
 	fmt.Printf("policy=%s pattern=%s size=%dx%d rate=%.3f\n",
@@ -71,6 +91,33 @@ func main() {
 		res.AvgLatency, res.MaxLatency)
 	fmt.Printf("  in-network latency: avg %.1f, avg hops %.2f\n",
 		st.NetLatency.Mean(), st.HopLatency.Mean())
+	if suite != nil {
+		reportObs(suite, *metricsOut)
+	}
+}
+
+// reportObs prints the observability summary and writes the JSON snapshot.
+func reportObs(suite *obs.Suite, metricsOut string) {
+	snap := suite.Snapshot()
+	fmt.Printf("  obs: %d grants, %d blocked port-cycles, max head age %d\n",
+		snap.TotalGrants(), snap.TotalBlockedCycles(), snap.MaxHeadAge())
+	if w := suite.Watchdog; w != nil && w.Tripped() {
+		fmt.Printf("  watchdog: %d alerts\n%s", len(w.Alerts()), w.Summary())
+	}
+	if metricsOut == "" {
+		return
+	}
+	f, err := os.Create(metricsOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := snap.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("  (obs metrics written to %s)\n", metricsOut)
 }
 
 func makePolicy(name string, size int, seed int64) (noc.Policy, error) {

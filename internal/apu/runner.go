@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"mlnoc/internal/noc"
+	"mlnoc/internal/obs"
 	"mlnoc/internal/stats"
 	"mlnoc/internal/synfull"
 )
@@ -24,6 +25,10 @@ type RunnerConfig struct {
 	MaxCycles int64
 	// Seed drives all workload randomness.
 	Seed int64
+	// Obs, if non-nil, attaches an observability suite (metrics collector
+	// and optional watchdog) to the run's network; RunWorkload returns it in
+	// ExecResult.Obs.
+	Obs *obs.SuiteConfig
 }
 
 func (c *RunnerConfig) applyDefaults() {
@@ -198,6 +203,9 @@ type ExecResult struct {
 	AvgLatency float64 // mean NoC message latency during the run
 	Cycles     int64
 	Finished   bool
+	// Obs is the observability suite attached to the run, non-nil when
+	// RunnerConfig.Obs was set.
+	Obs *obs.Suite
 }
 
 // RunWorkload is the one-call experiment helper: build a system with the
@@ -209,6 +217,12 @@ func RunWorkload(sysCfg Config, policy noc.Policy, models [4]*synfull.Model, run
 	if oc, ok := policy.(interface{ OnCycle(*noc.Network) }); ok {
 		sys.Net.OnCycle = oc.OnCycle
 	}
+	var suite *obs.Suite
+	if runCfg.Obs != nil {
+		// Attach after the policy's OnCycle hook so samples and watchdog
+		// scans observe the fully arbitrated cycle.
+		suite = obs.Attach(sys.Net, *runCfg.Obs)
+	}
 	r := NewRunner(sys, models, runCfg)
 	finished := r.Run()
 	res := ExecResult{
@@ -216,6 +230,7 @@ func RunWorkload(sysCfg Config, policy noc.Policy, models [4]*synfull.Model, run
 		AvgLatency: sys.Net.Stats().Latency.Mean(),
 		Cycles:     sys.Net.Cycle(),
 		Finished:   finished,
+		Obs:        suite,
 	}
 	if finished {
 		res.Avg = r.AvgExecTime()

@@ -112,6 +112,12 @@ type ExecSweepResult struct {
 // every Fig. 9 policy. With trainNN true it first trains the APU agent and
 // includes the frozen network as the "NN" policy.
 func ExecSweep(sc Scale, trainNN bool) *ExecSweepResult {
+	return ExecSweepT(sc, trainNN, nil)
+}
+
+// ExecSweepT is ExecSweep with per-cell telemetry (progress reporting, obs
+// snapshots, watchdog); tel may be nil.
+func ExecSweepT(sc Scale, trainNN bool, tel *Telemetry) *ExecSweepResult {
 	var nnAgent *core.Agent
 	if trainNN {
 		nnAgent = TrainAPU(sc)
@@ -135,19 +141,23 @@ func ExecSweep(sc Scale, trainNN bool) *ExecSweepResult {
 		res.Avg[wi] = make([]float64, len(factories))
 		res.Tail[wi] = make([]float64, len(factories))
 	}
-	parallelFor(len(models)*len(factories), func(k int) {
+	total := len(models) * len(factories)
+	parallelFor(total, func(k int) {
 		wi, pi := k/len(factories), k%len(factories)
 		model, f := models[wi], factories[pi]
+		label := model.Name + "/" + f.Name
 		seed := sc.Seed + int64(wi+1)*1000
 		r := apu.RunWorkload(apu.Config{}, f.New(seed+int64(pi)),
 			apu.Homogeneous(model), apu.RunnerConfig{
 				OpScale: sc.OpScale,
 				Seed:    seed,
+				Obs:     tel.suiteConfig(),
 			})
 		if !r.Finished {
-			panic(fmt.Sprintf("experiments: %s under %s did not finish", model.Name, f.Name))
+			panic(cellFailure(label, r))
 		}
 		res.Avg[wi][pi], res.Tail[wi][pi] = r.Avg, r.Tail
+		tel.cellDone(total, label, r)
 	})
 	for wi := range models {
 		res.NormAvg = append(res.NormAvg, stats.Normalize(res.Avg[wi], gaCol))
@@ -225,6 +235,11 @@ type MixResult struct {
 // and four high-injection (H) applications, 4L0H through 0L4H, one
 // application per quadrant.
 func MixedWorkloads(sc Scale, trainNN bool) *MixResult {
+	return MixedWorkloadsT(sc, trainNN, nil)
+}
+
+// MixedWorkloadsT is MixedWorkloads with per-cell telemetry; tel may be nil.
+func MixedWorkloadsT(sc Scale, trainNN bool, tel *Telemetry) *MixResult {
 	var nnAgent *core.Agent
 	if trainNN {
 		nnAgent = TrainAPU(sc)
@@ -249,16 +264,19 @@ func MixedWorkloads(sc Scale, trainNN bool) *MixResult {
 		res.Mixes = append(res.Mixes, fmt.Sprintf("%dL%dH", low, high))
 		res.Avg[high] = make([]float64, len(factories))
 	}
-	parallelFor(5*len(factories), func(k int) {
+	total := 5 * len(factories)
+	parallelFor(total, func(k int) {
 		high, pi := k/len(factories), k%len(factories)
 		f := factories[pi]
+		label := fmt.Sprintf("%dL%dH/%s", 4-high, high, f.Name)
 		seed := sc.Seed + int64(high+1)*773
 		r := apu.RunWorkload(apu.Config{}, f.New(seed+int64(pi)), quads[high],
-			apu.RunnerConfig{OpScale: sc.OpScale, Seed: seed})
+			apu.RunnerConfig{OpScale: sc.OpScale, Seed: seed, Obs: tel.suiteConfig()})
 		if !r.Finished {
-			panic(fmt.Sprintf("experiments: mix %dL%dH under %s did not finish", 4-high, high, f.Name))
+			panic(cellFailure(label, r))
 		}
 		res.Avg[high][pi] = r.Avg
+		tel.cellDone(total, label, r)
 	})
 	for high := 0; high <= 4; high++ {
 		res.NormAvg = append(res.NormAvg, stats.Normalize(res.Avg[high], gaCol))
@@ -290,6 +308,11 @@ type AblationResult struct {
 // port condition (W/E hop inversion) and the message-type condition (boost)
 // from Algorithm 2, one at a time, and measure the slowdown.
 func Ablation(sc Scale) *AblationResult {
+	return AblationT(sc, nil)
+}
+
+// AblationT is Ablation with per-cell telemetry; tel may be nil.
+func AblationT(sc Scale, tel *Telemetry) *AblationResult {
 	variants := []struct {
 		name string
 		p    *core.RLInspiredAPU
@@ -309,19 +332,22 @@ func Ablation(sc Scale) *AblationResult {
 		res.Workloads = append(res.Workloads, model.Name)
 		avgs[wi] = make([]float64, len(variants))
 	}
-	parallelFor(len(models)*len(variants), func(k int) {
+	total := len(models) * len(variants)
+	parallelFor(total, func(k int) {
 		wi, vi := k/len(variants), k%len(variants)
 		model, v := models[wi], variants[vi]
+		label := "ablation-" + model.Name + "/" + v.name
 		seed := sc.Seed + int64(wi+1)*131
 		// Each cell builds its own policy value: RLInspiredAPU is stateless,
 		// so copying the variant struct is enough for concurrency safety.
 		p := *v.p
 		r := apu.RunWorkload(apu.Config{}, &p, apu.Homogeneous(model),
-			apu.RunnerConfig{OpScale: sc.OpScale, Seed: seed})
+			apu.RunnerConfig{OpScale: sc.OpScale, Seed: seed, Obs: tel.suiteConfig()})
 		if !r.Finished {
-			panic(fmt.Sprintf("experiments: ablation %s/%s did not finish", model.Name, v.name))
+			panic(cellFailure(label, r))
 		}
 		avgs[wi][vi] = r.Avg
+		tel.cellDone(total, label, r)
 	})
 	for wi := range models {
 		res.Norm = append(res.Norm, stats.Normalize(avgs[wi], 0))

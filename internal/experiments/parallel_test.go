@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelForRunsAllCells checks the no-panic baseline: every cell runs
+// exactly once.
+func TestParallelForRunsAllCells(t *testing.T) {
+	const n = 100
+	var counts [n]int32
+	parallelFor(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("cell %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestParallelForRepanicsWithCell checks the worker-panic contract: a panic in
+// one cell surfaces on the caller's goroutine as a *CellPanic carrying the
+// failing cell's index, the original value and a stack trace, while every
+// other cell still completes.
+func TestParallelForRepanicsWithCell(t *testing.T) {
+	const n, bad = 64, 17
+	boom := errors.New("boom")
+	var ran [n]int32
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic in a cell did not propagate to the caller")
+		}
+		cp, ok := r.(*CellPanic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *CellPanic", r, r)
+		}
+		if cp.Cell != bad {
+			t.Fatalf("panic attributed to cell %d, want %d", cp.Cell, bad)
+		}
+		if cp.Value != boom {
+			t.Fatalf("panic value %v, want %v", cp.Value, boom)
+		}
+		if !strings.Contains(string(cp.Stack), "parallel_test.go") {
+			t.Fatalf("stack does not point at the panicking cell:\n%s", cp.Stack)
+		}
+		if !strings.Contains(cp.Error(), "cell 17") || cp.String() != cp.Error() {
+			t.Fatalf("CellPanic formatting broken: %q", cp.Error())
+		}
+		// The pool kept going: every non-panicking cell still ran.
+		for i := int32(0); i < n; i++ {
+			if i != bad && atomic.LoadInt32(&ran[i]) != 1 {
+				t.Fatalf("cell %d did not run after cell %d panicked", i, bad)
+			}
+		}
+	}()
+	parallelFor(n, func(i int) {
+		if i == bad {
+			panic(boom)
+		}
+		atomic.AddInt32(&ran[i], 1)
+	})
+	t.Fatal("parallelFor returned instead of re-panicking")
+}
+
+// TestParallelForFirstPanicWins checks that with several panicking cells
+// exactly one CellPanic is reported and it matches one of the panic sites.
+func TestParallelForFirstPanicWins(t *testing.T) {
+	defer func() {
+		cp, ok := recover().(*CellPanic)
+		if !ok {
+			t.Fatal("no *CellPanic recovered")
+		}
+		if cp.Cell%3 != 0 {
+			t.Fatalf("reported cell %d never panicked", cp.Cell)
+		}
+		if cp.Value != "bad cell" {
+			t.Fatalf("panic value %v", cp.Value)
+		}
+	}()
+	parallelFor(30, func(i int) {
+		if i%3 == 0 {
+			panic("bad cell")
+		}
+	})
+	t.Fatal("parallelFor returned instead of re-panicking")
+}
+
+// TestParallelForSerialPathPanics covers the workers<=1 serial path (n == 1
+// forces it regardless of GOMAXPROCS).
+func TestParallelForSerialPathPanics(t *testing.T) {
+	defer func() {
+		cp, ok := recover().(*CellPanic)
+		if !ok {
+			t.Fatal("serial path did not re-panic a *CellPanic")
+		}
+		if cp.Cell != 0 {
+			t.Fatalf("cell = %d, want 0", cp.Cell)
+		}
+	}()
+	parallelFor(1, func(i int) { panic("serial") })
+	t.Fatal("parallelFor returned instead of re-panicking")
+}
+
+// TestParallelForZeroCells checks the degenerate sweep.
+func TestParallelForZeroCells(t *testing.T) {
+	called := false
+	parallelFor(0, func(int) { called = true })
+	if called {
+		t.Fatal("cell function called for n=0")
+	}
+}
+
+// TestParallelForConcurrentCells checks cells genuinely overlap when workers
+// are available, so a sweep actually uses the pool (guards against a silent
+// regression to serial execution): the first batch of cells all block until
+// every expected worker has arrived, which only terminates if they truly run
+// concurrently.
+func TestParallelForConcurrentCells(t *testing.T) {
+	expected := runtime.GOMAXPROCS(0)
+	const n = 4
+	if expected > n {
+		expected = n
+	}
+	if expected < 2 {
+		t.Skip("needs >= 2 CPUs")
+	}
+	var mu sync.Mutex
+	arrived := 0
+	release := make(chan struct{})
+	parallelFor(n, func(i int) {
+		mu.Lock()
+		arrived++
+		if arrived == expected {
+			close(release)
+		}
+		mu.Unlock()
+		<-release
+	})
+}

@@ -85,6 +85,8 @@ type Network struct {
 	matcher Matcher // non-nil when policy implements Matcher
 	grantOb GrantObserver
 
+	observers []Observer // engine instrumentation (see observe.go)
+
 	cycle int64
 
 	wheel   [][]delivery // delivery wheel indexed by cycle % len(wheel)
@@ -100,8 +102,12 @@ type Network struct {
 	windowLatencySum int64
 	windowDelivered  int64
 
-	// link utilization of the most recently completed cycle
+	// link utilization of the most recently completed cycle. busyOutputs is
+	// maintained incrementally: grants increment it, and busyRelease (a wheel
+	// parallel to the delivery wheel) schedules the decrement for the cycle
+	// each output port frees up.
 	busyOutputs  int
+	busyRelease  []int
 	totalOutputs int
 	lastUtil     float64
 
@@ -125,8 +131,9 @@ func New(cfg Config) *Network {
 		panic("noc: mesh dimensions must be positive")
 	}
 	n := &Network{
-		cfg:   cfg,
-		wheel: make([][]delivery, cfg.MaxFlits+2),
+		cfg:         cfg,
+		wheel:       make([][]delivery, cfg.MaxFlits+2),
+		busyRelease: make([]int, cfg.MaxFlits+2),
 	}
 	n.routers = make([]*Router, cfg.Width*cfg.Height)
 	for y := 0; y < cfg.Height; y++ {
@@ -315,7 +322,7 @@ func (n *Network) Quiescent() bool {
 		return false
 	}
 	for _, node := range n.nodes {
-		if len(node.injectQ) > 0 {
+		if node.PendingInjections() > 0 {
 			return false
 		}
 	}
@@ -370,15 +377,18 @@ func (n *Network) deliver() {
 		if d.node.Sink != nil {
 			d.node.Sink(n.cycle, m)
 		}
+		if len(n.observers) > 0 {
+			n.observeDeliver(d.node, m)
+		}
 	}
 }
 
 func (n *Network) inject() {
 	for _, node := range n.nodes {
-		if len(node.injectQ) == 0 {
+		if node.injectHead >= len(node.injectQ) {
 			continue
 		}
-		m := node.injectQ[0]
+		m := node.injectQ[node.injectHead]
 		if int(m.Class) >= n.cfg.VCs {
 			panic(fmt.Sprintf("noc: %s has class %d but network has %d VCs",
 				m, m.Class, n.cfg.VCs))
@@ -387,9 +397,7 @@ func (n *Network) inject() {
 		if !buf.Free() {
 			continue
 		}
-		copy(node.injectQ, node.injectQ[1:])
-		node.injectQ[len(node.injectQ)-1] = nil
-		node.injectQ = node.injectQ[:len(node.injectQ)-1]
+		node.dequeue()
 
 		dst := n.nodes[m.Dst]
 		m.InjectCycle = n.cycle
@@ -402,6 +410,9 @@ func (n *Network) inject() {
 		n.inflightCount++
 		n.inflightBase += n.cycle
 		n.inflightBySrc[m.Src]++
+		if len(n.observers) > 0 {
+			n.observeInject(node, m)
+		}
 	}
 }
 
@@ -440,6 +451,13 @@ func (n *Network) applyGrant(r *Router, out PortID, c Candidate) {
 	}
 	r.outBusyUntil[out] = n.cycle + int64(m.SizeFlits)
 	r.inGrantedAt[c.Port] = n.cycle
+	// The output stays busy for cycles [now, now+SizeFlits); schedule the
+	// matching busy-count decrement for the cycle it frees up.
+	n.busyOutputs++
+	n.busyRelease[(n.cycle+int64(m.SizeFlits))%int64(len(n.busyRelease))]++
+	if len(n.observers) > 0 {
+		n.observeGrant(r, out, c)
+	}
 
 	if next := r.peerRouter[out]; next != nil {
 		m.HopCount++
@@ -539,16 +557,16 @@ func (n *Network) arbitrateMatched() {
 }
 
 func (n *Network) countUtilization() {
-	busy := 0
-	for _, r := range n.routers {
-		for p := PortID(0); p < MaxPorts; p++ {
-			if r.HasPort(p) && r.outBusyUntil[p] > n.cycle {
-				busy++
-			}
-		}
+	// Retire ports whose serialization ended this cycle (outBusyUntil ==
+	// cycle): they were busy through cycle-1 but are idle now. Grants made
+	// this cycle always release at cycle+SizeFlits >= cycle+1, so the slot
+	// only holds releases that are due.
+	slot := n.cycle % int64(len(n.busyRelease))
+	n.busyOutputs -= n.busyRelease[slot]
+	n.busyRelease[slot] = 0
+	if n.totalOutputs == 0 {
+		n.lastUtil = 0
+		return
 	}
-	n.busyOutputs = busy
-	if n.totalOutputs > 0 {
-		n.lastUtil = float64(busy) / float64(n.totalOutputs)
-	}
+	n.lastUtil = float64(n.busyOutputs) / float64(n.totalOutputs)
 }

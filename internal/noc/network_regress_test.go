@@ -1,0 +1,193 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInjectQueueFIFOUnderBacklog piles a deep backlog onto one node and
+// checks that the ring-style dequeue preserves FIFO order, drains fully, and
+// keeps PendingInjections consistent throughout.
+func TestInjectQueueFIFOUnderBacklog(t *testing.T) {
+	net, cores := buildMesh(t, 2, 1, 1)
+	net.SetPolicy(firstPolicy{})
+
+	const n = 5000
+	var got []uint64
+	cores[1].Sink = func(now int64, m *Message) { got = append(got, m.ID) }
+	for i := 0; i < n; i++ {
+		cores[0].Inject(&Message{ID: uint64(i + 1), Dst: cores[1].ID, SizeFlits: 1})
+	}
+	if p := cores[0].PendingInjections(); p != n {
+		t.Fatalf("pending = %d, want %d", p, n)
+	}
+	prevPending := n
+	for i := 0; i < 10*n && !net.Quiescent(); i++ {
+		net.Step()
+		p := cores[0].PendingInjections()
+		if p > prevPending || p < 0 {
+			t.Fatalf("pending went from %d to %d", prevPending, p)
+		}
+		prevPending = p
+	}
+	if !net.Quiescent() {
+		t.Fatal("backlog did not drain")
+	}
+	if cores[0].PendingInjections() != 0 {
+		t.Fatalf("pending = %d after drain", cores[0].PendingInjections())
+	}
+	if len(got) != n {
+		t.Fatalf("delivered %d of %d", len(got), n)
+	}
+	for i, id := range got {
+		if id != uint64(i+1) {
+			t.Fatalf("delivery %d has id %d; FIFO order broken", i, id)
+		}
+	}
+}
+
+// TestInjectQueueInterleaved keeps injecting while the queue drains, crossing
+// the ring's reset and compaction paths.
+func TestInjectQueueInterleaved(t *testing.T) {
+	net, cores := buildMesh(t, 2, 1, 1)
+	net.SetPolicy(firstPolicy{})
+	var delivered int
+	var lastID uint64
+	cores[1].Sink = func(now int64, m *Message) {
+		if m.ID <= lastID {
+			t.Fatalf("out of order: %d after %d", m.ID, lastID)
+		}
+		lastID = m.ID
+		delivered++
+	}
+	nextID := uint64(1)
+	rng := rand.New(rand.NewSource(7))
+	for cycle := 0; cycle < 12000; cycle++ {
+		if cycle < 9000 {
+			// Inject in bursts so the queue oscillates between deep and empty.
+			for k := 0; k < rng.Intn(3); k++ {
+				cores[0].Inject(&Message{ID: nextID, Dst: cores[1].ID, SizeFlits: 1})
+				nextID++
+			}
+		}
+		net.Step()
+	}
+	if !net.Drain(20000) {
+		t.Fatal("network did not drain")
+	}
+	if want := int(nextID - 1); delivered != want {
+		t.Fatalf("delivered %d of %d", delivered, want)
+	}
+}
+
+// TestLinkUtilizationMatchesRecount cross-checks the incrementally maintained
+// busy-output count against a direct recount of port busy state every cycle.
+func TestLinkUtilizationMatchesRecount(t *testing.T) {
+	net, cores := buildMesh(t, 4, 4, 2)
+	net.SetPolicy(firstPolicy{})
+	rng := rand.New(rand.NewSource(3))
+
+	totalOutputs := 0
+	for _, r := range net.Routers() {
+		totalOutputs += r.NumPorts()
+	}
+	net.OnCycle = func(n *Network) {
+		now := n.Cycle()
+		busy := 0
+		for _, r := range n.Routers() {
+			for p := PortID(0); p < MaxPorts; p++ {
+				if r.HasPort(p) && r.OutputBusy(p, now) {
+					busy++
+				}
+			}
+		}
+		want := float64(busy) / float64(totalOutputs)
+		if got := n.LinkUtilization(); got != want {
+			t.Fatalf("cycle %d: incremental utilization %v, recount %v", now, got, want)
+		}
+	}
+	var id uint64
+	for cycle := 0; cycle < 3000; cycle++ {
+		for _, c := range cores {
+			if rng.Float64() < 0.1 {
+				id++
+				net.Step() // interleave stepping and injection points
+				c.Inject(&Message{
+					ID:        id,
+					Dst:       cores[rng.Intn(len(cores))].ID,
+					Class:     Class(rng.Intn(2)),
+					SizeFlits: 1 + rng.Intn(4),
+				})
+			}
+		}
+		net.Step()
+	}
+	net.Drain(10000)
+}
+
+// TestLinkUtilizationZeroOutputs guards the totalOutputs == 0 case: a mesh
+// with no attached nodes and no links must report zero utilization, not a
+// stale or NaN value.
+func TestLinkUtilizationZeroOutputs(t *testing.T) {
+	net := New(Config{Width: 1, Height: 1})
+	net.SetPolicy(firstPolicy{})
+	for i := 0; i < 10; i++ {
+		net.Step()
+		if u := net.LinkUtilization(); u != 0 {
+			t.Fatalf("utilization = %v on a network with no outputs", u)
+		}
+	}
+}
+
+// countingObserver records engine events for the observer-hook test.
+type countingObserver struct {
+	injects, grants, delivers int
+}
+
+func (o *countingObserver) ObserveInject(int64, *Node, *Message)           { o.injects++ }
+func (o *countingObserver) ObserveGrant(int64, *Router, PortID, Candidate) { o.grants++ }
+func (o *countingObserver) ObserveDeliver(int64, *Node, *Message)          { o.delivers++ }
+
+// TestObserverSeesAllEvents checks that every injection, grant and delivery
+// reaches registered observers, and that AddOnCycle chains instead of
+// clobbering.
+func TestObserverSeesAllEvents(t *testing.T) {
+	net, cores := buildMesh(t, 3, 3, 1)
+	net.SetPolicy(firstPolicy{})
+	var ob countingObserver
+	net.AddObserver(&ob)
+
+	first, second := 0, 0
+	net.OnCycle = func(*Network) { first++ }
+	net.AddOnCycle(func(*Network) { second++ })
+
+	rng := rand.New(rand.NewSource(11))
+	const n = 200
+	for i := 0; i < n; i++ {
+		src := rng.Intn(len(cores))
+		dst := rng.Intn(len(cores))
+		for dst == src {
+			dst = rng.Intn(len(cores))
+		}
+		cores[src].Inject(&Message{ID: uint64(i + 1), Dst: cores[dst].ID, SizeFlits: 1})
+	}
+	if !net.Drain(100000) {
+		t.Fatal("network did not drain")
+	}
+	st := net.Stats()
+	if int64(ob.injects) != st.Injected || int64(ob.delivers) != st.Delivered {
+		t.Fatalf("observer saw %d injects / %d delivers; stats say %d / %d",
+			ob.injects, ob.delivers, st.Injected, st.Delivered)
+	}
+	if ob.delivers != n {
+		t.Fatalf("delivered %d of %d", ob.delivers, n)
+	}
+	// Every message needs at least one grant (source router output), and
+	// grants never exceed one per hop+ejection.
+	if ob.grants < n {
+		t.Fatalf("grants %d < deliveries %d", ob.grants, n)
+	}
+	if first == 0 || first != second {
+		t.Fatalf("OnCycle chain broken: first=%d second=%d", first, second)
+	}
+}

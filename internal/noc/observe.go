@@ -1,0 +1,59 @@
+package noc
+
+// Observer receives the structural events of a simulation: injections into the
+// network, arbitration grants, and deliveries. Observers are the engine-level
+// instrumentation hook used by the obs package; unlike GrantObserver (a policy
+// concern), observers see every event regardless of the installed policy.
+//
+// Observer methods run inside Network.Step and must not call Step, Run or
+// Drain. They may inspect any exported network state.
+type Observer interface {
+	// ObserveInject runs when a message leaves its node's injection queue and
+	// enters the network at the source router.
+	ObserveInject(now int64, node *Node, m *Message)
+	// ObserveGrant runs for every arbitration grant, including the
+	// single-candidate grants that bypass Policy.Select. The candidate's head
+	// message has been granted output port out of router r.
+	ObserveGrant(now int64, r *Router, out PortID, c Candidate)
+	// ObserveDeliver runs when a message is ejected at its destination node.
+	ObserveDeliver(now int64, node *Node, m *Message)
+}
+
+// AddObserver registers an engine observer. Multiple observers run in
+// registration order.
+func (n *Network) AddObserver(o Observer) {
+	n.observers = append(n.observers, o)
+}
+
+// AddOnCycle chains f to run after the currently installed OnCycle hook (if
+// any) at the end of every Step. It lets instrumentation attach without
+// clobbering a hook already claimed by a policy or trainer.
+func (n *Network) AddOnCycle(f func(*Network)) {
+	prev := n.OnCycle
+	if prev == nil {
+		n.OnCycle = f
+		return
+	}
+	n.OnCycle = func(net *Network) {
+		prev(net)
+		f(net)
+	}
+}
+
+func (n *Network) observeInject(node *Node, m *Message) {
+	for _, o := range n.observers {
+		o.ObserveInject(n.cycle, node, m)
+	}
+}
+
+func (n *Network) observeGrant(r *Router, out PortID, c Candidate) {
+	for _, o := range n.observers {
+		o.ObserveGrant(n.cycle, r, out, c)
+	}
+}
+
+func (n *Network) observeDeliver(node *Node, m *Message) {
+	for _, o := range n.observers {
+		o.ObserveDeliver(n.cycle, node, m)
+	}
+}

@@ -114,6 +114,13 @@ func (r *Router) OutputBusy(p PortID, now int64) bool {
 	return r.outBusyUntil[p] > now
 }
 
+// ForwardedThisCycle reports whether input port p forwarded a message during
+// the given cycle. After arbitration (e.g. inside an OnCycle hook), a queued
+// head on a port that did not forward was blocked for the cycle.
+func (r *Router) ForwardedThisCycle(p PortID, now int64) bool {
+	return r.inGrantedAt[p] == now
+}
+
 // QueuedMessages returns the total number of messages queued in all input
 // buffers of the router.
 func (r *Router) QueuedMessages() int {

@@ -97,7 +97,11 @@ type Node struct {
 	// call Step.
 	Sink func(now int64, m *Message)
 
-	injectQ []*Message // pending injections, drained one per cycle
+	// injectQ holds pending injections, drained one per cycle. Dequeue
+	// advances injectHead instead of shifting the slice, so heavy backlogs
+	// (queue depths in the thousands under APU bursts) stay O(1) per message.
+	injectQ    []*Message
+	injectHead int
 }
 
 // Inject queues a message for injection at this node. The message enters the
@@ -115,7 +119,28 @@ func (n *Node) Inject(m *Message) {
 
 // PendingInjections returns the number of messages queued at the node that
 // have not yet entered the network.
-func (n *Node) PendingInjections() int { return len(n.injectQ) }
+func (n *Node) PendingInjections() int { return len(n.injectQ) - n.injectHead }
+
+// dequeue removes and forgets the message at the head of the injection queue.
+// The consumed prefix is reclaimed when the queue drains, or compacted once it
+// dominates a large backlog, keeping both time and memory amortized O(1).
+func (n *Node) dequeue() {
+	n.injectQ[n.injectHead] = nil
+	n.injectHead++
+	if n.injectHead == len(n.injectQ) {
+		n.injectQ = n.injectQ[:0]
+		n.injectHead = 0
+		return
+	}
+	if n.injectHead >= 1024 && n.injectHead*2 >= len(n.injectQ) {
+		rem := copy(n.injectQ, n.injectQ[n.injectHead:])
+		for i := rem; i < len(n.injectQ); i++ {
+			n.injectQ[i] = nil
+		}
+		n.injectQ = n.injectQ[:rem]
+		n.injectHead = 0
+	}
+}
 
 // String implements fmt.Stringer.
 func (n *Node) String() string {

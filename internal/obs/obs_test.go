@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"mlnoc/internal/arb"
+	"mlnoc/internal/noc"
+	"mlnoc/internal/traffic"
+)
+
+// runUniform drives a small mesh under uniform-random traffic with the suite
+// attached and returns the network and suite.
+func runUniform(t *testing.T, cfg SuiteConfig, rate float64, cycles int64) (*noc.Network, *Suite) {
+	t.Helper()
+	net, cores := noc.BuildMeshCores(noc.Config{Width: 4, Height: 4, VCs: 2})
+	net.SetPolicy(arb.NewGlobalAge())
+	suite := Attach(net, cfg)
+	in := traffic.NewInjector(cores, traffic.UniformRandom{}, rate, rand.New(rand.NewSource(5)))
+	in.Classes = 2
+	for i := int64(0); i < cycles; i++ {
+		in.Tick()
+		net.Step()
+	}
+	return net, suite
+}
+
+func TestCollectorCountsMatchStats(t *testing.T) {
+	net, suite := runUniform(t, SuiteConfig{SampleEvery: 1}, 0.1, 3000)
+	snap := suite.Snapshot()
+	st := net.Stats()
+
+	if snap.Injected != st.Injected || snap.Delivered != st.Delivered {
+		t.Fatalf("collector injected/delivered %d/%d, stats %d/%d",
+			snap.Injected, snap.Delivered, st.Injected, st.Delivered)
+	}
+	if snap.Injected == 0 || snap.Delivered == 0 {
+		t.Fatal("no traffic observed")
+	}
+	if snap.InFlight != net.InFlight() {
+		t.Fatalf("in flight %d, want %d", snap.InFlight, net.InFlight())
+	}
+	// Every delivered message was granted at least once (ejection grant);
+	// every grant moved a message, so grants >= deliveries.
+	if g := snap.TotalGrants(); g < snap.Delivered {
+		t.Fatalf("grants %d < deliveries %d", g, snap.Delivered)
+	}
+	// Per-router injected/delivered roll up to the totals.
+	var injected, delivered int64
+	for _, r := range snap.Routers {
+		injected += r.Injected
+		delivered += r.Delivered
+	}
+	if injected != snap.Injected || delivered != snap.Delivered {
+		t.Fatalf("per-router sums %d/%d, totals %d/%d",
+			injected, delivered, snap.Injected, snap.Delivered)
+	}
+	if snap.Samples != 3000 {
+		t.Fatalf("samples = %d, want 3000", snap.Samples)
+	}
+	// Under sustained contention some port must have recorded occupancy.
+	var occ float64
+	for _, r := range snap.Routers {
+		for _, p := range r.Ports {
+			occ += p.AvgOccupancy
+		}
+	}
+	if occ == 0 {
+		t.Fatal("no occupancy sampled under load")
+	}
+}
+
+func TestCollectorSampling(t *testing.T) {
+	_, suite := runUniform(t, SuiteConfig{SampleEvery: 10}, 0.05, 1000)
+	snap := suite.Snapshot()
+	if snap.Samples != 100 {
+		t.Fatalf("samples = %d, want 100", snap.Samples)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	_, suite := runUniform(t, SuiteConfig{
+		SampleEvery: 1,
+		Watchdog:    &WatchdogConfig{MaxHeadAge: 100000, LivelockWindow: 100000},
+	}, 0.1, 2000)
+	snap := suite.Snapshot()
+
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if !reflect.DeepEqual(*snap, back) {
+		t.Fatalf("round trip mismatch:\nwrote %+v\nread  %+v", *snap, back)
+	}
+}
+
+func TestSnapshotCSV(t *testing.T) {
+	_, suite := runUniform(t, SuiteConfig{SampleEvery: 1}, 0.1, 500)
+	out := suite.Snapshot().CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != csvHeader {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	// 4x4 mesh: 16 cores + 2*(12+12) direction ports = 64 port rows.
+	if len(lines) != 1+64 {
+		t.Fatalf("csv rows = %d, want 65", len(lines))
+	}
+	for _, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != strings.Count(csvHeader, ",") {
+			t.Fatalf("csv row %q has %d commas", line, got)
+		}
+	}
+}
+
+func TestRegistryConcurrentRecord(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				name := string(rune('a'+w)) + "-" + strings.Repeat("x", i%3)
+				reg.Record(name, &Snapshot{Cycle: int64(i)})
+				_ = reg.Get(name)
+				_ = reg.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if reg.Len() != 8*3 {
+		t.Fatalf("registry has %d snapshots, want 24", reg.Len())
+	}
+	names := reg.Names()
+	if !sortedStrings(names) {
+		t.Fatalf("names not sorted: %v", names)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string][]struct {
+		Name     string    `json:"name"`
+		Snapshot *Snapshot `json:"snapshot"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("registry JSON does not parse: %v", err)
+	}
+	if len(doc["runs"]) != 24 {
+		t.Fatalf("registry JSON has %d runs, want 24", len(doc["runs"]))
+	}
+	if !strings.HasPrefix(reg.CSV(), "run,"+csvHeader+"\n") {
+		t.Fatal("registry CSV header malformed")
+	}
+}
+
+func sortedStrings(xs []string) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -40,11 +40,22 @@ func (a *Accumulator) Add(x float64) {
 	a.m2 += delta * (x - a.mean)
 }
 
-// AddN folds the same sample n times.
+// AddN folds the same sample n times in O(1): n repeats of x form an
+// accumulator with mean x and zero second moment (exactly what n repeated
+// Adds produce from an empty accumulator), which is then merged in. Folding
+// into an empty accumulator is bit-identical to the Add loop; folding into a
+// non-empty one uses the Welford merge, which agrees up to floating-point
+// reassociation.
 func (a *Accumulator) AddN(x float64, n int64) {
-	for i := int64(0); i < n; i++ {
-		a.Add(x)
+	if n <= 0 {
+		return
 	}
+	b := Accumulator{n: n, mean: x, min: x, max: x}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	a.Merge(&b)
 }
 
 // Merge folds another accumulator into a (parallel Welford merge).

@@ -84,6 +84,64 @@ func TestAccumulatorAddN(t *testing.T) {
 	}
 }
 
+// TestAccumulatorAddNBitCompatible pins the O(1) AddN against the Add loop:
+// from an empty accumulator the results must be bit-identical (a constant
+// sample leaves Welford's m2 at exactly zero), and folding into a non-empty
+// accumulator must agree up to floating-point reassociation.
+func TestAccumulatorAddNBitCompatible(t *testing.T) {
+	for _, x := range []float64{-2.5, 0, 0.1, 3, 1e9, -7.25e-8} {
+		for n := int64(1); n <= 17; n++ {
+			var fast, loop Accumulator
+			fast.AddN(x, n)
+			for i := int64(0); i < n; i++ {
+				loop.Add(x)
+			}
+			if fast != loop {
+				t.Fatalf("AddN(%v, %d) = %+v, loop = %+v", x, n, fast, loop)
+			}
+		}
+	}
+
+	// Non-empty accumulator: Welford merge vs iterated Add.
+	for _, x := range []float64{-1, 0.5, 12} {
+		for n := int64(1); n <= 9; n++ {
+			var fast, loop Accumulator
+			for _, seedSample := range []float64{4, -3, 8.5} {
+				fast.Add(seedSample)
+				loop.Add(seedSample)
+			}
+			fast.AddN(x, n)
+			for i := int64(0); i < n; i++ {
+				loop.Add(x)
+			}
+			if fast.Count() != loop.Count() || fast.Min() != loop.Min() || fast.Max() != loop.Max() {
+				t.Fatalf("AddN(%v, %d) count/min/max mismatch: %+v vs %+v", x, n, fast, loop)
+			}
+			if !almostEqual(fast.Mean(), loop.Mean(), 1e-9*(1+math.Abs(loop.Mean()))) {
+				t.Fatalf("AddN(%v, %d) mean %v, loop %v", x, n, fast.Mean(), loop.Mean())
+			}
+			if !almostEqual(fast.Variance(), loop.Variance(), 1e-9*(1+loop.Variance())) {
+				t.Fatalf("AddN(%v, %d) variance %v, loop %v", x, n, fast.Variance(), loop.Variance())
+			}
+		}
+	}
+}
+
+// TestAccumulatorAddNZero checks the degenerate counts.
+func TestAccumulatorAddNZero(t *testing.T) {
+	var a Accumulator
+	a.AddN(42, 0)
+	a.AddN(42, -3)
+	if a.Count() != 0 || a.Mean() != 0 {
+		t.Fatalf("AddN with n<=0 mutated the accumulator: %+v", a)
+	}
+	a.Add(1)
+	a.AddN(9, 0)
+	if a.Count() != 1 || a.Mean() != 1 {
+		t.Fatalf("AddN(x, 0) mutated a non-empty accumulator: %+v", a)
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	h := NewHistogram(10, 5) // bins [0,10) .. [40,50)
 	for _, x := range []float64{1, 5, 15, 25, 45, 99, -3} {
