@@ -1,6 +1,7 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: build test race vet verify bench clean
+.PHONY: build test race vet fmt verify bench clean
 
 build:
 	$(GO) build ./...
@@ -8,16 +9,24 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the library packages; the obs registry and the parallel sweep
-# telemetry are explicitly exercised under -race by internal/experiments.
+# Race-check the library packages; the obs registry, the parallel sweep
+# telemetry and the fault-injection tests are explicitly exercised under
+# -race by internal/experiments and internal/fault. The race detector runs
+# ~10x slower than a plain test, so give the heavyweight sweep package more
+# than the default 10m.
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race -timeout 20m ./internal/...
 
 vet:
 	$(GO) vet ./...
 
+# Fail if any tracked Go file is not gofmt-clean.
+fmt:
+	@out=$$($(GOFMT) -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 # The PR gate: everything that must be green before merging.
-verify: vet build test race
+verify: fmt vet build test race
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -15,6 +15,7 @@ import (
 	"mlnoc/internal/apu"
 	"mlnoc/internal/arb"
 	"mlnoc/internal/core"
+	"mlnoc/internal/fault"
 	"mlnoc/internal/nn"
 	"mlnoc/internal/noc"
 	"mlnoc/internal/obs"
@@ -35,7 +36,31 @@ func main() {
 		"write per-router/per-port obs counters (JSON) to this file")
 	watchdog := flag.Int64("watchdog", 0,
 		"flag head messages older than N cycles and N-cycle zero-delivery windows (0 = off)")
+	faults := flag.Float64("faults", 0,
+		"fraction of NoC links to kill a third into the programs (0..1, connectivity-preserving)")
+	faultSeed := flag.Int64("fault-seed", 0, "fault scenario seed (0 = use -seed)")
 	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "apusim: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *opscale <= 0 {
+		fail("-opscale must be positive, got %g", *opscale)
+	}
+	if *quadSide < 3 {
+		fail("-quadside must be >= 3, got %d", *quadSide)
+	}
+	if *bufcap < 0 {
+		fail("-bufcap must be >= 0, got %d", *bufcap)
+	}
+	if *watchdog < 0 {
+		fail("-watchdog must be >= 0, got %d", *watchdog)
+	}
+	if *faults < 0 || *faults > 1 {
+		fail("-faults must be in [0,1], got %g", *faults)
+	}
+	fmt.Printf("seed: %d\n", *seed)
 
 	var models [4]*synfull.Model
 	if *mix != "" {
@@ -72,6 +97,21 @@ func main() {
 	}
 
 	runCfg := apu.RunnerConfig{OpScale: *opscale, Seed: *seed}
+	if *faults > 0 {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		killAt := int64(8000 * *opscale)
+		if killAt < 1 {
+			killAt = 1
+		}
+		runCfg.Faults = &fault.Spec{
+			KillFraction: *faults,
+			KillAt:       killAt,
+			Seed:         fseed,
+		}
+	}
 	if *metricsOut != "" || *watchdog > 0 {
 		cfg := &obs.SuiteConfig{SampleEvery: 4}
 		if *watchdog > 0 {
@@ -88,7 +128,7 @@ func main() {
 
 	res := apu.RunWorkload(apu.Config{QuadSide: *quadSide, BufferCap: *bufcap}, p, models, runCfg)
 	if res.Obs != nil {
-		reportObs(res.Obs, *metricsOut)
+		reportObs(res.Obs, *metricsOut, *seed)
 	}
 	if !res.Finished {
 		fmt.Fprintf(os.Stderr, "workload did not finish within the cycle budget\n")
@@ -100,11 +140,17 @@ func main() {
 	fmt.Printf("  avg execution time:  %.0f cycles\n", res.Avg)
 	fmt.Printf("  tail execution time: %.0f cycles\n", res.Tail)
 	fmt.Printf("  avg NoC message latency: %.2f cycles\n", res.AvgLatency)
+	if res.Faults != nil {
+		fmt.Printf("  faults: %d links killed, %d downtime cycles, %d requeued, %d reroutes, %d unreachable\n",
+			res.Faults.LinkKills, res.Faults.DowntimeCycles, res.Faults.Requeued,
+			res.Faults.Reroutes, res.Faults.Unreachable)
+	}
 }
 
 // reportObs prints the observability summary and writes the JSON snapshot.
-func reportObs(suite *obs.Suite, metricsOut string) {
+func reportObs(suite *obs.Suite, metricsOut string, seed int64) {
 	snap := suite.Snapshot()
+	snap.Seed = seed
 	fmt.Printf("obs: %d grants, %d blocked port-cycles, max head age %d, %d in flight\n",
 		snap.TotalGrants(), snap.TotalBlockedCycles(), snap.MaxHeadAge(), snap.InFlight)
 	if w := suite.Watchdog; w != nil && w.Tripped() {

@@ -5,7 +5,7 @@
 //	experiments [-scale quick|full] [-seed N] [-no-nn] <experiment>
 //
 // where <experiment> is one of: fig4, fig5, fig7, fig9, fig10, fig11, fig12,
-// fig13, table1, table2, table3, ablation, starvation, hillclimb, all.
+// fig13, table1, table2, table3, ablation, starvation, faults, hillclimb, all.
 package main
 
 import (
@@ -37,6 +37,10 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if *watchdog < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -watchdog must be >= 0, got %d\n", *watchdog)
+		os.Exit(2)
+	}
 
 	var sc experiments.Scale
 	switch *scale {
@@ -50,6 +54,7 @@ func main() {
 	}
 	sc.Seed = *seed
 	withNN := !*noNN
+	fmt.Printf("seed: %d\n", sc.Seed)
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -59,6 +64,9 @@ func main() {
 	}
 
 	tel := buildTelemetry(*metricsOut, *watchdog, *progress)
+	if tel != nil && tel.Registry != nil {
+		tel.Registry.SetSeed(*seed)
+	}
 
 	what := strings.ToLower(flag.Arg(0))
 	run(what, sc, withNN, *csvDir, tel)
@@ -184,6 +192,11 @@ func run(what string, sc experiments.Scale, withNN bool, csvDir string, tel *exp
 		r := experiments.Starvation(sc)
 		fmt.Print(r.Render())
 		writeCSV(csvDir, "starvation.csv", r.CSV())
+	case "faults":
+		r := experiments.FaultSweep(sc, tel)
+		fmt.Print(r.Render())
+		writeCSV(csvDir, "faults_mesh.csv", r.CSVMesh())
+		writeCSV(csvDir, "faults_apu.csv", r.CSVAPU())
 	case "fairness":
 		r := experiments.Fairness(sc)
 		fmt.Print(r.Render())
@@ -206,8 +219,8 @@ func run(what string, sc experiments.Scale, withNN bool, csvDir string, tel *exp
 		for _, w := range []string{
 			"table1", "table2", "table3", "fig4", "fig5", "fig7",
 			"fig9+10", "fig11", "fig12", "fig13", "ablation", "starvation",
-			"fairness", "qtable", "flitcheck", "bufablation", "tiebreak", "derive",
-			"hillclimb",
+			"fairness", "faults", "qtable", "flitcheck", "bufablation", "tiebreak",
+			"derive", "hillclimb",
 		} {
 			fmt.Printf("==== %s ====\n", w)
 			run(w, sc, withNN, csvDir, tel)
@@ -252,7 +265,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: experiments [flags] <experiment>
 
 experiments: fig4 fig5 fig7 fig9 fig10 fig11 fig12 fig13
-             table1 table2 table3 ablation starvation fairness
+             table1 table2 table3 ablation starvation fairness faults
              qtable flitcheck bufablation tiebreak derive hillclimb all
 flags:
 `)

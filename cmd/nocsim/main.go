@@ -14,6 +14,7 @@ import (
 
 	"mlnoc/internal/arb"
 	"mlnoc/internal/core"
+	"mlnoc/internal/fault"
 	"mlnoc/internal/nn"
 	"mlnoc/internal/noc"
 	"mlnoc/internal/obs"
@@ -37,7 +38,40 @@ func main() {
 		"write per-router/per-port obs counters (JSON) to this file")
 	watchdog := flag.Int64("watchdog", 0,
 		"flag head messages older than N cycles and N-cycle zero-delivery windows (0 = off)")
+	faults := flag.Float64("faults", 0,
+		"fraction of mesh links to kill a third into the measured run (0..1, connectivity-preserving)")
+	faultSeed := flag.Int64("fault-seed", 0, "fault scenario seed (0 = use -seed)")
 	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "nocsim: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *size <= 0 {
+		fail("-size must be positive, got %d", *size)
+	}
+	if *rate < 0 || *rate > 1 {
+		fail("-rate must be in [0,1], got %g", *rate)
+	}
+	if *cycles < 0 {
+		fail("-cycles must be >= 0, got %d", *cycles)
+	}
+	if *warmup < 0 {
+		fail("-warmup must be >= 0, got %d", *warmup)
+	}
+	if *vcs <= 0 {
+		fail("-vcs must be positive, got %d", *vcs)
+	}
+	if *bufcap <= 0 {
+		fail("-bufcap must be positive, got %d", *bufcap)
+	}
+	if *watchdog < 0 {
+		fail("-watchdog must be >= 0, got %d", *watchdog)
+	}
+	if *faults < 0 || *faults > 1 {
+		fail("-faults must be in [0,1], got %g", *faults)
+	}
+	fmt.Printf("seed: %d\n", *seed)
 
 	net, cores := noc.BuildMeshCores(noc.Config{
 		Width: *size, Height: *size, VCs: *vcs, BufferCap: *bufcap,
@@ -63,6 +97,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	var inj *fault.Injector
+	if *faults > 0 {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		spec := fault.Spec{
+			KillFraction: *faults,
+			KillAt:       *warmup + *cycles/3,
+			Seed:         fseed,
+		}
+		if inj, err = spec.Equip(net); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
 	in := traffic.NewInjector(cores, pat, *rate, rand.New(rand.NewSource(*seed+1)))
 	in.Classes = *vcs
 
@@ -91,14 +142,20 @@ func main() {
 		res.AvgLatency, res.MaxLatency)
 	fmt.Printf("  in-network latency: avg %.1f, avg hops %.2f\n",
 		st.NetLatency.Mean(), st.HopLatency.Mean())
+	if inj != nil {
+		fs := inj.Stats()
+		fmt.Printf("  faults: %d links killed, %d downtime cycles, %d requeued, %d reroutes, %d unreachable\n",
+			fs.LinkKills, fs.DowntimeCycles, fs.Requeued, fs.Reroutes, fs.Unreachable)
+	}
 	if suite != nil {
-		reportObs(suite, *metricsOut)
+		reportObs(suite, *metricsOut, *seed)
 	}
 }
 
 // reportObs prints the observability summary and writes the JSON snapshot.
-func reportObs(suite *obs.Suite, metricsOut string) {
+func reportObs(suite *obs.Suite, metricsOut string, seed int64) {
 	snap := suite.Snapshot()
+	snap.Seed = seed
 	fmt.Printf("  obs: %d grants, %d blocked port-cycles, max head age %d\n",
 		snap.TotalGrants(), snap.TotalBlockedCycles(), snap.MaxHeadAge())
 	if w := suite.Watchdog; w != nil && w.Tripped() {

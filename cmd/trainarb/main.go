@@ -50,6 +50,24 @@ func main() {
 	apuMode := flag.Bool("apu", false, "train the 504-input APU agent (on the bfs model) instead of a mesh agent")
 	flag.Parse()
 
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "trainarb: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *size <= 0 {
+		fail("-size must be positive, got %d", *size)
+	}
+	if *cycles <= 0 {
+		fail("-cycles must be positive, got %d", *cycles)
+	}
+	if *rate < 0 || *rate > 1 {
+		fail("-rate must be in [0,1], got %g", *rate)
+	}
+	if *evalCycles < 0 {
+		fail("-eval must be >= 0, got %d", *evalCycles)
+	}
+	fmt.Printf("seed: %d\n", *seed)
+
 	if *apuMode {
 		if err := trainAPU(*cycles, *seed, *out); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"mlnoc/internal/fault"
 	"mlnoc/internal/noc"
 	"mlnoc/internal/obs"
 	"mlnoc/internal/stats"
@@ -29,6 +30,11 @@ type RunnerConfig struct {
 	// and optional watchdog) to the run's network; RunWorkload returns it in
 	// ExecResult.Obs.
 	Obs *obs.SuiteConfig
+	// Faults, if non-nil, equips the run's network with the fault scenario
+	// (fault-aware table routing plus injector) before the workload starts.
+	// Scenarios built from Spec.KillFraction preserve mesh connectivity, so
+	// the coherence protocol keeps its liveness under link kills.
+	Faults *fault.Spec
 }
 
 func (c *RunnerConfig) applyDefaults() {
@@ -206,6 +212,9 @@ type ExecResult struct {
 	// Obs is the observability suite attached to the run, non-nil when
 	// RunnerConfig.Obs was set.
 	Obs *obs.Suite
+	// Faults holds the run's fault counters, non-nil when RunnerConfig.Faults
+	// was set.
+	Faults *fault.Stats
 }
 
 // RunWorkload is the one-call experiment helper: build a system with the
@@ -216,6 +225,14 @@ func RunWorkload(sysCfg Config, policy noc.Policy, models [4]*synfull.Model, run
 	sys.Net.SetPolicy(policy)
 	if oc, ok := policy.(interface{ OnCycle(*noc.Network) }); ok {
 		sys.Net.OnCycle = oc.OnCycle
+	}
+	var inj *fault.Injector
+	if runCfg.Faults != nil {
+		var err error
+		inj, err = runCfg.Faults.Equip(sys.Net)
+		if err != nil {
+			panic(fmt.Sprintf("apu: invalid fault spec: %v", err))
+		}
 	}
 	var suite *obs.Suite
 	if runCfg.Obs != nil {
@@ -231,6 +248,10 @@ func RunWorkload(sysCfg Config, policy noc.Policy, models [4]*synfull.Model, run
 		Cycles:     sys.Net.Cycle(),
 		Finished:   finished,
 		Obs:        suite,
+	}
+	if inj != nil {
+		fs := inj.Stats()
+		res.Faults = &fs
 	}
 	if finished {
 		res.Avg = r.AvgExecTime()

@@ -64,6 +64,24 @@ func (t *Telemetry) cellDone(total int, label string, r apu.ExecResult) {
 	}
 }
 
+// cellSnapshot records one finished non-APU cell (e.g. a synthetic-traffic
+// mesh run that attached its own obs suite) and reports progress; suite may
+// be nil.
+func (t *Telemetry) cellSnapshot(total int, label string, suite *obs.Suite) {
+	if t == nil {
+		return
+	}
+	if t.Registry != nil && suite != nil {
+		t.Registry.Record(label, suite.Snapshot())
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done++
+	if t.Progress != nil {
+		t.Progress(t.done, total, label)
+	}
+}
+
 // cellFailure builds the panic message for a sweep cell that did not finish,
 // appending the cell's watchdog diagnosis when telemetry is attached.
 func cellFailure(label string, r apu.ExecResult) string {

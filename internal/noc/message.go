@@ -119,6 +119,11 @@ type Message struct {
 	// Payload carries opaque protocol-level state for higher layers (e.g.
 	// the APU coherence layer); the NoC never inspects it.
 	Payload any
+
+	// RouteBits is per-message scratch state owned by the active Routing
+	// implementation (e.g. the up*/down* phase bit of the fault-aware
+	// router); the engine itself never reads or writes it.
+	RouteBits uint8
 }
 
 // GlobalAge returns the number of cycles since the message entered the

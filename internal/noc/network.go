@@ -84,6 +84,12 @@ type Network struct {
 	policy  Policy
 	matcher Matcher // non-nil when policy implements Matcher
 	grantOb GrantObserver
+	routing Routing // nil means built-in X-Y routing
+
+	// fault layer (see faultstate.go); zero-cost while faulty is false.
+	faulty        bool
+	fstats        FaultStats
+	onUnreachable func(now int64, r *Router, m *Message)
 
 	observers []Observer // engine instrumentation (see observe.go)
 
@@ -214,6 +220,21 @@ func (n *Network) SetPolicy(p Policy) {
 // Policy returns the installed arbitration policy.
 func (n *Network) Policy() Policy { return n.policy }
 
+// SetRouting installs a routing algorithm, replacing built-in X-Y routing
+// (pass nil to restore it). Installing a Routing marks the network faulty so
+// unreachable verdicts are honored; with all links healthy, the reference
+// implementations route identically to X-Y.
+func (n *Network) SetRouting(rt Routing) {
+	n.routing = rt
+	if rt != nil {
+		n.faulty = true
+	}
+}
+
+// Routing returns the installed routing algorithm, or nil when the built-in
+// X-Y routing is active.
+func (n *Network) Routing() Routing { return n.routing }
+
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
 
@@ -290,6 +311,9 @@ func (n *Network) Step() {
 	n.inject()
 	n.arbitrate()
 	n.countUtilization()
+	if n.faulty {
+		n.fstats.DowntimeCycles += n.fstats.LinksDown
+	}
 	if n.OnCycle != nil {
 		n.OnCycle(n)
 	}
@@ -388,6 +412,9 @@ func (n *Network) inject() {
 		if node.injectHead >= len(node.injectQ) {
 			continue
 		}
+		if n.faulty && node.Router.linkDown[node.Port] {
+			continue // the node's attach link is down; injections wait
+		}
 		m := node.injectQ[node.injectHead]
 		if int(m.Class) >= n.cfg.VCs {
 			panic(fmt.Sprintf("noc: %s has class %d but network has %d VCs",
@@ -428,7 +455,7 @@ func (n *Network) gatherCandidates(r *Router, out PortID) []Candidate {
 		}
 		for vc, buf := range r.in[p] {
 			m := buf.Head()
-			if m == nil || r.route(m) != out {
+			if m == nil || r.Route(m) != out {
 				continue
 			}
 			if next := r.peerRouter[out]; next != nil {
@@ -451,6 +478,9 @@ func (n *Network) applyGrant(r *Router, out PortID, c Candidate) {
 	}
 	r.outBusyUntil[out] = n.cycle + int64(m.SizeFlits)
 	r.inGrantedAt[c.Port] = n.cycle
+	if n.faulty && out != r.XYPort(m) {
+		n.fstats.Reroutes++
+	}
 	// The output stays busy for cycles [now, now+SizeFlits); schedule the
 	// matching busy-count decrement for the cycle it frees up.
 	n.busyOutputs++
@@ -485,9 +515,15 @@ func (n *Network) arbitrate() {
 	}
 	ctx := ArbContext{Net: n, Cycle: n.cycle}
 	for _, r := range n.routers {
+		if n.faulty {
+			if r.frozen {
+				continue
+			}
+			n.evictUnreachable(r)
+		}
 		ctx.Router = r
 		for out := PortID(0); out < MaxPorts; out++ {
-			if !r.HasPort(out) || r.OutputBusy(out, n.cycle) {
+			if !r.HasPort(out) || r.linkDown[out] || r.OutputBusy(out, n.cycle) {
 				continue
 			}
 			cands := n.gatherCandidates(r, out)
@@ -514,9 +550,15 @@ func (n *Network) arbitrate() {
 func (n *Network) arbitrateMatched() {
 	mctx := MatchContext{Net: n, Cycle: n.cycle}
 	for _, r := range n.routers {
+		if n.faulty {
+			if r.frozen {
+				continue
+			}
+			n.evictUnreachable(r)
+		}
 		reqs := n.reqScratch[:0]
 		for out := PortID(0); out < MaxPorts; out++ {
-			if !r.HasPort(out) || r.OutputBusy(out, n.cycle) {
+			if !r.HasPort(out) || r.linkDown[out] || r.OutputBusy(out, n.cycle) {
 				continue
 			}
 			cands := n.gatherCandidates(r, out)

@@ -169,13 +169,13 @@ func TestXYRouting(t *testing.T) {
 	// before reaching column 3. Indirect check: route() from source picks
 	// east, and from (3,0) picks south.
 	m := &Message{Dst: dst.ID, SizeFlits: 1}
-	if out := net.RouterAt(0, 0).route(m); out != PortEast {
+	if out := net.RouterAt(0, 0).Route(m); out != PortEast {
 		t.Fatalf("route from (0,0) = %v, want east", out)
 	}
-	if out := net.RouterAt(3, 0).route(m); out != PortSouth {
+	if out := net.RouterAt(3, 0).Route(m); out != PortSouth {
 		t.Fatalf("route from (3,0) = %v, want south", out)
 	}
-	if out := net.RouterAt(3, 4).route(m); out != PortCore {
+	if out := net.RouterAt(3, 4).Route(m); out != PortCore {
 		t.Fatalf("route at destination = %v, want core ejection", out)
 	}
 }

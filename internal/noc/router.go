@@ -75,6 +75,14 @@ type Router struct {
 	// enforcing the one-message-per-input-port-per-cycle constraint.
 	inGrantedAt [MaxPorts]int64
 
+	// linkDown[p] marks the outgoing link at port p as failed: the output
+	// accepts no grants until the link is restored (Network.SetLinkDown).
+	linkDown [MaxPorts]bool
+
+	// frozen marks the whole router as fault-frozen: it makes no grants,
+	// though its input buffers still accept in-flight arrivals.
+	frozen bool
+
 	nPorts int // number of connected ports (for stats/diagnostics)
 }
 
@@ -133,10 +141,29 @@ func (r *Router) QueuedMessages() int {
 	return total
 }
 
-// route returns the output port taking m one hop closer to its destination
-// from this router, using dimension-ordered X-Y routing: correct X first,
-// then Y, then deliver to the destination node's attach port.
-func (r *Router) route(m *Message) PortID {
+// LinkUp reports whether the outgoing link at port p is healthy. Ports never
+// taken down by Network.SetLinkDown are always up.
+func (r *Router) LinkUp(p PortID) bool { return !r.linkDown[p] }
+
+// Frozen reports whether the router is fault-frozen (making no grants).
+func (r *Router) Frozen() bool { return r.frozen }
+
+// Route returns the output port the installed routing algorithm picks for m
+// at this router, or RouteUnreachable when no healthy path exists. Without
+// an installed Routing it is dimension-ordered X-Y routing.
+func (r *Router) Route(m *Message) PortID {
+	if rt := r.net.routing; rt != nil {
+		return rt.Route(r, m)
+	}
+	return r.XYPort(m)
+}
+
+// XYPort returns the dimension-ordered X-Y output port for m at this router:
+// correct X first, then Y, then the destination node's attach port. It is
+// the default routing function and the reference fault-aware routers deviate
+// from only around dead links (the engine counts such deviations as
+// reroutes).
+func (r *Router) XYPort(m *Message) PortID {
 	dst := r.net.nodes[m.Dst]
 	dc := dst.Router.Coord
 	switch {

@@ -45,6 +45,12 @@ type Snapshot struct {
 	Alerts    []Alert          `json:"alerts,omitempty"`
 	// SuppressedAlerts counts watchdog alerts beyond the recording cap.
 	SuppressedAlerts int64 `json:"suppressed_alerts,omitempty"`
+	// Seed is the RNG seed of the run that produced this snapshot, recorded
+	// by the CLIs so any exported metrics file identifies its exact rerun.
+	Seed int64 `json:"seed,omitempty"`
+	// Faults carries the network's fault counters, present only when fault
+	// machinery touched the run (see noc.Network.Faulty).
+	Faults *noc.FaultStats `json:"faults,omitempty"`
 }
 
 // Snapshot exports the collector's current counters.
@@ -55,6 +61,10 @@ func (c *Collector) Snapshot() *Snapshot {
 		Injected:  c.injected,
 		Delivered: c.delivered,
 		InFlight:  c.net.InFlight(),
+	}
+	if c.net.Faulty() {
+		fs := c.net.FaultStats()
+		s.Faults = &fs
 	}
 	for i, r := range c.net.Routers() {
 		rs := RouterSnapshot{
@@ -162,13 +172,24 @@ func (s *Snapshot) appendCSV(b *strings.Builder, prefix string) {
 // Registry collects named snapshots from concurrent runs (one per experiment
 // sweep cell). All methods are safe for concurrent use.
 type Registry struct {
-	mu    sync.Mutex
-	snaps map[string]*Snapshot
+	mu      sync.Mutex
+	snaps   map[string]*Snapshot
+	seed    int64
+	hasSeed bool
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{snaps: make(map[string]*Snapshot)}
+}
+
+// SetSeed records the RNG seed of the sweep that feeds this registry; it is
+// included in WriteJSON so exported metrics identify their exact rerun.
+func (g *Registry) SetSeed(seed int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.seed = seed
+	g.hasSeed = true
 }
 
 // Record stores a snapshot under name, replacing any previous snapshot with
@@ -227,16 +248,29 @@ type namedSnapshot struct {
 	Snapshot *Snapshot `json:"snapshot"`
 }
 
+// registryDoc is the JSON layout of Registry.WriteJSON.
+type registryDoc struct {
+	Seed *int64          `json:"seed,omitempty"`
+	Runs []namedSnapshot `json:"runs"`
+}
+
 // WriteJSON writes every recorded snapshot as one JSON document:
-// {"runs": [{"name": ..., "snapshot": {...}}, ...]}, sorted by name.
+// {"seed": ..., "runs": [{"name": ..., "snapshot": {...}}, ...]}, sorted by
+// name. The seed field appears when SetSeed was called.
 func (g *Registry) WriteJSON(w io.Writer) error {
-	runs := make([]namedSnapshot, 0, g.Len())
+	doc := registryDoc{Runs: make([]namedSnapshot, 0, g.Len())}
 	for _, name := range g.Names() {
-		runs = append(runs, namedSnapshot{Name: name, Snapshot: g.Get(name)})
+		doc.Runs = append(doc.Runs, namedSnapshot{Name: name, Snapshot: g.Get(name)})
 	}
+	g.mu.Lock()
+	if g.hasSeed {
+		seed := g.seed
+		doc.Seed = &seed
+	}
+	g.mu.Unlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(map[string][]namedSnapshot{"runs": runs})
+	return enc.Encode(doc)
 }
 
 // CSV exports every recorded snapshot as one table with a leading run column.

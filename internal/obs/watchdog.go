@@ -18,6 +18,12 @@ const (
 	// AlertLivelock flags a window of cycles with zero deliveries while
 	// messages were in flight.
 	AlertLivelock AlertKind = "livelock"
+	// AlertFaultBlackhole flags an over-age head message that is stuck
+	// because of an injected fault — its router is frozen, its route is a
+	// dead link, or its destination is unreachable — rather than because the
+	// arbitration policy starved it. Telling the two apart matters when
+	// judging a policy under fault injection.
+	AlertFaultBlackhole AlertKind = "fault-blackhole"
 )
 
 // Alert is one structured watchdog finding.
@@ -44,6 +50,9 @@ func (a Alert) String() string {
 	case AlertLivelock:
 		return fmt.Sprintf("cycle %d: livelock: no deliveries for %d cycles with %d messages in flight",
 			a.Cycle, a.Window, a.InFlight)
+	case AlertFaultBlackhole:
+		return fmt.Sprintf("cycle %d: fault-blackhole at router#%d %s vc%d: msg#%d head age %d (stuck on a fault, not starved)",
+			a.Cycle, a.Router, a.Port, a.VC, a.MsgID, a.Age)
 	}
 	return fmt.Sprintf("cycle %d: %s", a.Cycle, a.Kind)
 }
@@ -202,8 +211,17 @@ func (w *Watchdog) checkStarvation(net *noc.Network, now int64) {
 					continue
 				}
 				w.flagged[i][p] = m.ID + 1
+				kind := AlertStarvation
+				if net.Faulty() {
+					// Distinguish policy starvation from fault damage: a head
+					// is blackholed (not starved) when its router is frozen,
+					// its route crosses a dead link, or no route exists.
+					if out := r.Route(m); r.Frozen() || out == noc.RouteUnreachable || !r.LinkUp(out) {
+						kind = AlertFaultBlackhole
+					}
+				}
 				w.raise(Alert{
-					Kind:   AlertStarvation,
+					Kind:   kind,
 					Cycle:  now,
 					Router: r.ID(),
 					Port:   p.String(),

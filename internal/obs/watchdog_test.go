@@ -143,6 +143,33 @@ func TestWatchdogQuietOnHealthyRun(t *testing.T) {
 	}
 }
 
+// TestWatchdogDrainedThenIdle pins the livelock window reset: a network that
+// delivered its traffic and then sits idle for many windows has zero
+// deliveries but nothing in flight — that is quiescence, not livelock. Late
+// traffic arriving after the idle gap must be measured against a fresh
+// window, not inherit the gap.
+func TestWatchdogDrainedThenIdle(t *testing.T) {
+	net, cores := noc.BuildMeshCores(noc.Config{Width: 2, Height: 2, VCs: 1})
+	net.SetPolicy(arb.NewGlobalAge())
+	w := AttachWatchdog(net, WatchdogConfig{LivelockWindow: 100, CheckEvery: 10})
+
+	cores[0].Inject(&noc.Message{ID: 1, Dst: cores[3].ID, SizeFlits: 1})
+	if !net.Drain(1000) {
+		t.Fatal("network did not drain")
+	}
+	net.Run(2000) // twenty livelock windows of drained idleness
+	if w.Tripped() {
+		t.Fatalf("watchdog tripped on a drained idle network:\n%s", w.Summary())
+	}
+	cores[0].Inject(&noc.Message{ID: 2, Dst: cores[3].ID, SizeFlits: 1})
+	if !net.Drain(1000) {
+		t.Fatal("late message did not drain")
+	}
+	if w.Tripped() {
+		t.Fatalf("watchdog tripped on prompt post-idle traffic:\n%s", w.Summary())
+	}
+}
+
 // TestWatchdogAlertCap checks that the alert list is bounded and overflow is
 // counted, not dropped silently.
 func TestWatchdogAlertCap(t *testing.T) {
