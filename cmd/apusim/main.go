@@ -20,6 +20,7 @@ import (
 	"mlnoc/internal/noc"
 	"mlnoc/internal/obs"
 	"mlnoc/internal/synfull"
+	"mlnoc/internal/trace"
 )
 
 func main() {
@@ -39,6 +40,14 @@ func main() {
 	faults := flag.Float64("faults", 0,
 		"fraction of NoC links to kill a third into the programs (0..1, connectivity-preserving)")
 	faultSeed := flag.Int64("fault-seed", 0, "fault scenario seed (0 = use -seed)")
+	traceOn := flag.Bool("trace", false,
+		"attach the per-message lifecycle tracer and print a latency breakdown")
+	traceOut := flag.String("trace-out", "",
+		"write the trace as Chrome/Perfetto JSON to this file (implies -trace)")
+	traceCSV := flag.String("trace-csv", "",
+		"write the trace as compact CSV to this file (implies -trace)")
+	traceSample := flag.Uint64("trace-sample", 64,
+		"trace only every Nth message (APU runs generate millions)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -59,6 +68,9 @@ func main() {
 	}
 	if *faults < 0 || *faults > 1 {
 		fail("-faults must be in [0,1], got %g", *faults)
+	}
+	if *traceSample < 1 {
+		fail("-trace-sample must be >= 1, got %d", *traceSample)
 	}
 	fmt.Printf("seed: %d\n", *seed)
 
@@ -125,10 +137,16 @@ func main() {
 		}
 		runCfg.Obs = cfg
 	}
+	if *traceOn || *traceOut != "" || *traceCSV != "" {
+		runCfg.Trace = &trace.Config{SampleEvery: *traceSample}
+	}
 
 	res := apu.RunWorkload(apu.Config{QuadSide: *quadSide, BufferCap: *bufcap}, p, models, runCfg)
 	if res.Obs != nil {
 		reportObs(res.Obs, *metricsOut, *seed)
+	}
+	if res.Trace != nil {
+		reportTrace(res.Trace, *traceOut, *traceCSV)
 	}
 	if !res.Finished {
 		fmt.Fprintf(os.Stderr, "workload did not finish within the cycle budget\n")
@@ -153,6 +171,10 @@ func reportObs(suite *obs.Suite, metricsOut string, seed int64) {
 	snap.Seed = seed
 	fmt.Printf("obs: %d grants, %d blocked port-cycles, max head age %d, %d in flight\n",
 		snap.TotalGrants(), snap.TotalBlockedCycles(), snap.MaxHeadAge(), snap.InFlight)
+	if snap.Delivered > 0 {
+		fmt.Printf("obs: latency p50 %.0f, p95 %.0f, p99 %.0f\n",
+			snap.LatencyP50, snap.LatencyP95, snap.LatencyP99)
+	}
 	if w := suite.Watchdog; w != nil && w.Tripped() {
 		fmt.Printf("watchdog: %d alerts\n%s", len(w.Alerts()), w.Summary())
 	}
@@ -170,6 +192,33 @@ func reportObs(suite *obs.Suite, metricsOut string, seed int64) {
 		os.Exit(1)
 	}
 	fmt.Printf("(obs metrics written to %s)\n", metricsOut)
+}
+
+// reportTrace prints the latency breakdown of the traced run and writes the
+// requested export files. The trace spans the whole program execution.
+func reportTrace(tr *trace.Tracer, jsonOut, csvOut string) {
+	fmt.Printf("trace: %d events retained (%d recorded, %d evicted), sampling every %d msgs\n",
+		tr.Len(), tr.Recorded(), tr.Dropped(), tr.SampleEvery())
+	fmt.Print(trace.Analyze(tr).Render())
+	write := func(path string, export func(f *os.File) error, hint string) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := export(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(trace written to %s%s)\n", path, hint)
+	}
+	write(jsonOut, func(f *os.File) error { return trace.WriteChromeTrace(f, tr) },
+		"; load in https://ui.perfetto.dev or chrome://tracing")
+	write(csvOut, func(f *os.File) error { return trace.WriteCSV(f, tr) }, "")
 }
 
 func makePolicy(name string, seed int64) (noc.Policy, error) {

@@ -18,6 +18,7 @@ import (
 	"mlnoc/internal/experiments"
 	"mlnoc/internal/obs"
 	"mlnoc/internal/synfull"
+	"mlnoc/internal/trace"
 	"mlnoc/internal/viz"
 )
 
@@ -31,6 +32,9 @@ func main() {
 	watchdog := flag.Int64("watchdog", 0,
 		"attach a watchdog to every sweep cell: flag head messages older than N cycles and N-cycle zero-delivery windows (0 = off)")
 	progress := flag.Bool("progress", false, "print sweep cell progress to stderr")
+	traceDir := flag.String("trace-dir", "",
+		"write one Chrome/Perfetto trace JSON per APU sweep cell into this directory")
+	traceSample := flag.Uint64("trace-sample", 64, "trace only every Nth message per cell")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -39,6 +43,10 @@ func main() {
 	}
 	if *watchdog < 0 {
 		fmt.Fprintf(os.Stderr, "experiments: -watchdog must be >= 0, got %d\n", *watchdog)
+		os.Exit(2)
+	}
+	if *traceSample < 1 {
+		fmt.Fprintf(os.Stderr, "experiments: -trace-sample must be >= 1, got %d\n", *traceSample)
 		os.Exit(2)
 	}
 
@@ -63,7 +71,7 @@ func main() {
 		}
 	}
 
-	tel := buildTelemetry(*metricsOut, *watchdog, *progress)
+	tel := buildTelemetry(*metricsOut, *watchdog, *progress, *traceDir, *traceSample)
 	if tel != nil && tel.Registry != nil {
 		tel.Registry.SetSeed(*seed)
 	}
@@ -83,8 +91,9 @@ func main() {
 
 // buildTelemetry assembles the sweep telemetry from the observability flags,
 // or returns nil when none are set.
-func buildTelemetry(metricsOut string, watchdog int64, progress bool) *experiments.Telemetry {
-	if metricsOut == "" && watchdog == 0 && !progress {
+func buildTelemetry(metricsOut string, watchdog int64, progress bool,
+	traceDir string, traceSample uint64) *experiments.Telemetry {
+	if metricsOut == "" && watchdog == 0 && !progress && traceDir == "" {
 		return nil
 	}
 	tel := &experiments.Telemetry{}
@@ -100,6 +109,28 @@ func buildTelemetry(metricsOut string, watchdog int64, progress bool) *experimen
 	if progress {
 		tel.Progress = func(done, total int, label string) {
 			fmt.Fprintf(os.Stderr, "progress: %d/%d %s\n", done, total, label)
+		}
+	}
+	if traceDir != "" {
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tel.Trace = &trace.Config{SampleEvery: traceSample}
+		tel.TraceSink = func(label string, tr *trace.Tracer) {
+			// Labels are "workload/policy"; flatten for the filesystem.
+			name := strings.NewReplacer("/", "_", " ", "_").Replace(label) + ".trace.json"
+			f, err := os.Create(traceDir + string(os.PathSeparator) + name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := trace.WriteChromeTrace(f, tr); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "trace: %s (%d events)\n", name, tr.Len())
 		}
 	}
 	return tel

@@ -18,6 +18,7 @@ import (
 	"mlnoc/internal/nn"
 	"mlnoc/internal/noc"
 	"mlnoc/internal/obs"
+	"mlnoc/internal/trace"
 	"mlnoc/internal/traffic"
 )
 
@@ -41,6 +42,13 @@ func main() {
 	faults := flag.Float64("faults", 0,
 		"fraction of mesh links to kill a third into the measured run (0..1, connectivity-preserving)")
 	faultSeed := flag.Int64("fault-seed", 0, "fault scenario seed (0 = use -seed)")
+	traceOn := flag.Bool("trace", false,
+		"attach the per-message lifecycle tracer and print a latency breakdown")
+	traceOut := flag.String("trace-out", "",
+		"write the trace as Chrome/Perfetto JSON to this file (implies -trace)")
+	traceCSV := flag.String("trace-csv", "",
+		"write the trace as compact CSV to this file (implies -trace)")
+	traceSample := flag.Uint64("trace-sample", 1, "trace only every Nth message (1 = all)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -70,6 +78,9 @@ func main() {
 	}
 	if *faults < 0 || *faults > 1 {
 		fail("-faults must be in [0,1], got %g", *faults)
+	}
+	if *traceSample < 1 {
+		fail("-trace-sample must be >= 1, got %d", *traceSample)
 	}
 	fmt.Printf("seed: %d\n", *seed)
 
@@ -131,6 +142,10 @@ func main() {
 		}
 		suite = obs.Attach(net, cfg)
 	}
+	var tr *trace.Tracer
+	if *traceOn || *traceOut != "" || *traceCSV != "" {
+		tr = trace.Attach(net, trace.Config{SampleEvery: *traceSample})
+	}
 
 	res := traffic.Run(net, in, *warmup, *cycles)
 	st := net.Stats()
@@ -150,6 +165,36 @@ func main() {
 	if suite != nil {
 		reportObs(suite, *metricsOut, *seed)
 	}
+	if tr != nil {
+		reportTrace(tr, *traceOut, *traceCSV)
+	}
+}
+
+// reportTrace prints the latency breakdown of the traced run and writes the
+// requested export files. The trace spans the entire run, warmup included.
+func reportTrace(tr *trace.Tracer, jsonOut, csvOut string) {
+	fmt.Printf("  trace: %d events retained (%d recorded, %d evicted), sampling every %d msgs\n",
+		tr.Len(), tr.Recorded(), tr.Dropped(), tr.SampleEvery())
+	fmt.Print(trace.Analyze(tr).Render())
+	write := func(path string, export func(f *os.File) error, hint string) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := export(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  (trace written to %s%s)\n", path, hint)
+	}
+	write(jsonOut, func(f *os.File) error { return trace.WriteChromeTrace(f, tr) },
+		"; load in https://ui.perfetto.dev or chrome://tracing")
+	write(csvOut, func(f *os.File) error { return trace.WriteCSV(f, tr) }, "")
 }
 
 // reportObs prints the observability summary and writes the JSON snapshot.
@@ -158,6 +203,10 @@ func reportObs(suite *obs.Suite, metricsOut string, seed int64) {
 	snap.Seed = seed
 	fmt.Printf("  obs: %d grants, %d blocked port-cycles, max head age %d\n",
 		snap.TotalGrants(), snap.TotalBlockedCycles(), snap.MaxHeadAge())
+	if snap.Delivered > 0 {
+		fmt.Printf("  obs: latency p50 %.0f, p95 %.0f, p99 %.0f (since attach, warmup included)\n",
+			snap.LatencyP50, snap.LatencyP95, snap.LatencyP99)
+	}
 	if w := suite.Watchdog; w != nil && w.Tripped() {
 		fmt.Printf("  watchdog: %d alerts\n%s", len(w.Alerts()), w.Summary())
 	}

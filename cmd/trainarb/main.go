@@ -17,12 +17,15 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"mlnoc/internal/arb"
 	"mlnoc/internal/core"
 	"mlnoc/internal/experiments"
 	"mlnoc/internal/noc"
 	"mlnoc/internal/rl"
+	"mlnoc/internal/trace"
 	"mlnoc/internal/traffic"
 	"mlnoc/internal/viz"
 )
@@ -48,6 +51,15 @@ func main() {
 	offline := flag.String("offline", "", "train offline from this dataset file")
 	epochs := flag.Int("epochs", 20, "offline training epochs over the dataset")
 	apuMode := flag.Bool("apu", false, "train the 504-input APU agent (on the bfs model) instead of a mesh agent")
+	telemetryOut := flag.String("telemetry-out", "",
+		"write training telemetry (training_curves.csv, per-epoch weight-heatmap CSVs) into this directory")
+	heatmapEvery := flag.Int("heatmap-every", 0,
+		"dump a weight-heatmap CSV every N epochs (0 = 4 dumps per run; needs -telemetry-out)")
+	traceOn := flag.Bool("trace", false,
+		"trace message lifecycles during training and print a latency breakdown")
+	traceOut := flag.String("trace-out", "",
+		"write the training-run trace as Chrome/Perfetto JSON to this file (implies -trace)")
+	traceSample := flag.Uint64("trace-sample", 16, "trace only every Nth message")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -65,6 +77,12 @@ func main() {
 	}
 	if *evalCycles < 0 {
 		fail("-eval must be >= 0, got %d", *evalCycles)
+	}
+	if *heatmapEvery < 0 {
+		fail("-heatmap-every must be >= 0, got %d", *heatmapEvery)
+	}
+	if *traceSample < 1 {
+		fail("-trace-sample must be >= 1, got %d", *traceSample)
 	}
 	fmt.Printf("seed: %d\n", *seed)
 
@@ -122,6 +140,8 @@ func main() {
 			SyncEvery: *sync,
 		},
 	}
+	cfg.Telemetry = buildTelemetry(*telemetryOut, *heatmapEvery, cfg.Epochs,
+		*traceOn || *traceOut != "", *traceSample, fail)
 	fmt.Printf("training %dx%d mesh agent: %d cycles, reward=%s\n",
 		*size, *size, *cycles, kind)
 	tr := core.TrainMesh(cfg)
@@ -131,6 +151,7 @@ func main() {
 	fmt.Printf("decisions=%d explored=%.4f replay=%d steps=%d\n",
 		tr.Agent.Decisions(), tr.Agent.ExplorationFraction(),
 		tr.Agent.DQL.Replay.Len(), tr.Agent.DQL.Steps())
+	reportTelemetry(tr, *telemetryOut, *traceOut, fail)
 
 	tr.Agent.Freeze()
 	h := core.NewHeatmap(tr.Spec, tr.Agent.Net())
@@ -168,6 +189,95 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("saved network to %s\n", *out)
+	}
+}
+
+// buildTelemetry assembles the TrainMesh telemetry config from the CLI
+// flags, or returns nil when no introspection was requested.
+func buildTelemetry(dir string, heatmapEvery, epochs int, traceOn bool, sample uint64,
+	fail func(string, ...any)) *core.TrainTelemetry {
+	if dir == "" && !traceOn {
+		return nil
+	}
+	// One curve point per 10 training batches keeps training_curves.csv a
+	// few thousand rows on default-length runs.
+	tel := &core.TrainTelemetry{BatchEvery: 10}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fail("%v", err)
+		}
+		every := heatmapEvery
+		if every <= 0 {
+			every = epochs / 4
+			if every < 1 {
+				every = 1
+			}
+		}
+		tel.HeatmapEvery = every
+		tel.HeatmapSink = func(epoch int, h *core.Heatmap) {
+			// Signed weights, not magnitudes: the CSV is the Fig. 4/7 raw
+			// artifact, and sign structure is what interpretation reads.
+			csv := viz.MatrixCSV("feature", h.RowLabels, h.ColLabels, h.Signed)
+			path := filepath.Join(dir, fmt.Sprintf("weights_epoch%03d.csv", epoch))
+			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+				fail("%v", err)
+			}
+		}
+	}
+	if traceOn {
+		tel.Trace = &trace.Config{SampleEvery: sample}
+	}
+	return tel
+}
+
+// reportTelemetry prints the training-telemetry summary and writes the
+// requested artifacts.
+func reportTelemetry(tr *core.TrainResult, dir, traceOut string, fail func(string, ...any)) {
+	if tt := tr.TrainTrace; tt != nil && tt.Points() > 0 {
+		last := tt.Points() - 1
+		fmt.Printf("telemetry: %d curve points, %d target syncs, final loss %.5f, final epsilon %.4f, replay fill %.0f%%\n",
+			tt.Points(), len(tt.SyncSteps), tt.Loss[last], tt.Epsilon[last], 100*tt.ReplayFill[last])
+		if dir != "" {
+			var b strings.Builder
+			b.WriteString("step,loss,replay_fill,epsilon\n")
+			for i := range tt.Steps {
+				fmt.Fprintf(&b, "%d,%.6f,%.4f,%.6f\n",
+					tt.Steps[i], tt.Loss[i], tt.ReplayFill[i], tt.Epsilon[i])
+			}
+			if err := os.WriteFile(filepath.Join(dir, "training_curves.csv"),
+				[]byte(b.String()), 0o644); err != nil {
+				fail("%v", err)
+			}
+			var sb strings.Builder
+			sb.WriteString("step\n")
+			for _, s := range tt.SyncSteps {
+				fmt.Fprintf(&sb, "%d\n", s)
+			}
+			if err := os.WriteFile(filepath.Join(dir, "target_syncs.csv"),
+				[]byte(sb.String()), 0o644); err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("telemetry written to %s\n", dir)
+		}
+	}
+	if tr.Tracer != nil {
+		fmt.Printf("trace: %d events retained (%d recorded, %d evicted)\n",
+			tr.Tracer.Len(), tr.Tracer.Recorded(), tr.Tracer.Dropped())
+		fmt.Print(trace.Analyze(tr.Tracer).Render())
+		if traceOut != "" {
+			f, err := os.Create(traceOut)
+			if err != nil {
+				fail("%v", err)
+			}
+			if err := trace.WriteChromeTrace(f, tr.Tracer); err != nil {
+				f.Close()
+				fail("%v", err)
+			}
+			if err := f.Close(); err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("(trace written to %s; load in https://ui.perfetto.dev or chrome://tracing)\n", traceOut)
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"mlnoc/internal/obs"
 	"mlnoc/internal/stats"
 	"mlnoc/internal/synfull"
+	"mlnoc/internal/trace"
 )
 
 // RunnerConfig parameterizes a workload execution.
@@ -35,6 +36,9 @@ type RunnerConfig struct {
 	// Scenarios built from Spec.KillFraction preserve mesh connectivity, so
 	// the coherence protocol keeps its liveness under link kills.
 	Faults *fault.Spec
+	// Trace, if non-nil, attaches a per-message lifecycle tracer to the
+	// run's network; RunWorkload returns it in ExecResult.Trace.
+	Trace *trace.Config
 }
 
 func (c *RunnerConfig) applyDefaults() {
@@ -215,6 +219,9 @@ type ExecResult struct {
 	// Faults holds the run's fault counters, non-nil when RunnerConfig.Faults
 	// was set.
 	Faults *fault.Stats
+	// Trace is the message tracer attached to the run, non-nil when
+	// RunnerConfig.Trace was set.
+	Trace *trace.Tracer
 }
 
 // RunWorkload is the one-call experiment helper: build a system with the
@@ -240,6 +247,10 @@ func RunWorkload(sysCfg Config, policy noc.Policy, models [4]*synfull.Model, run
 		// scans observe the fully arbitrated cycle.
 		suite = obs.Attach(sys.Net, *runCfg.Obs)
 	}
+	var tr *trace.Tracer
+	if runCfg.Trace != nil {
+		tr = trace.Attach(sys.Net, *runCfg.Trace)
+	}
 	r := NewRunner(sys, models, runCfg)
 	finished := r.Run()
 	res := ExecResult{
@@ -248,6 +259,7 @@ func RunWorkload(sysCfg Config, policy noc.Policy, models [4]*synfull.Model, run
 		Cycles:     sys.Net.Cycle(),
 		Finished:   finished,
 		Obs:        suite,
+		Trace:      tr,
 	}
 	if inj != nil {
 		fs := inj.Stats()

@@ -3,8 +3,27 @@ package core
 import (
 	"mlnoc/internal/noc"
 	"mlnoc/internal/rl"
+	"mlnoc/internal/trace"
 	"mlnoc/internal/traffic"
 )
+
+// TrainTelemetry configures the optional introspection of a TrainMesh run:
+// the training-curve telemetry (loss/epsilon/replay-fill/target-sync), an
+// attached per-message lifecycle tracer, and periodic weight-heatmap dumps —
+// the artifacts behind the paper's Figs. 4, 7, 12 and 13. All of it is
+// passive: enabling telemetry never changes the training trajectory.
+type TrainTelemetry struct {
+	// BatchEvery throttles the training trace to one point per N batches
+	// (default 1; TrainMesh runs one batch per cycle).
+	BatchEvery int64
+	// Trace, when non-nil, attaches a message tracer to the training mesh.
+	Trace *trace.Config
+	// HeatmapEvery dumps a weight heatmap of the online network every N
+	// epochs to HeatmapSink (0 disables). The sink receives the 1-based
+	// epoch number.
+	HeatmapEvery int
+	HeatmapSink  func(epoch int, hm *Heatmap)
+}
 
 // MeshTrainConfig parameterizes a Section 3.2-style training run: a W x H
 // mesh of cores under uniform-random synthetic traffic, one shared agent
@@ -30,6 +49,9 @@ type MeshTrainConfig struct {
 	DQL rl.DQLConfig
 	// Seed drives all randomness in the run.
 	Seed int64
+	// Telemetry, when non-nil, enables training introspection (see
+	// TrainTelemetry).
+	Telemetry *TrainTelemetry
 }
 
 func (c *MeshTrainConfig) applyDefaults() {
@@ -71,6 +93,10 @@ type TrainResult struct {
 	Agent *Agent
 	// Spec is the state spec the agent was trained with.
 	Spec *StateSpec
+	// TrainTrace holds the training telemetry when cfg.Telemetry was set.
+	TrainTrace *rl.TrainingTrace
+	// Tracer is the message tracer when cfg.Telemetry.Trace was set.
+	Tracer *trace.Tracer
 }
 
 // FinalLatency returns the mean of the last quarter of the curve, a stable
@@ -132,6 +158,14 @@ func TrainMesh(cfg MeshTrainConfig) *TrainResult {
 	net.OnCycle = agent.OnCycle
 
 	res := &TrainResult{Agent: agent, Spec: spec}
+	tel := cfg.Telemetry
+	if tel != nil {
+		agent.DQL.Trace = &rl.TrainingTrace{Every: tel.BatchEvery}
+		res.TrainTrace = agent.DQL.Trace
+		if tel.Trace != nil {
+			res.Tracer = trace.Attach(net, *tel.Trace)
+		}
+	}
 	for e := 0; e < cfg.Epochs; e++ {
 		net.ResetStats()
 		for i := int64(0); i < cfg.EpochCycles; i++ {
@@ -139,6 +173,9 @@ func TrainMesh(cfg MeshTrainConfig) *TrainResult {
 			net.Step()
 		}
 		res.Curve = append(res.Curve, net.Stats().Latency.Mean())
+		if tel != nil && tel.HeatmapEvery > 0 && tel.HeatmapSink != nil && (e+1)%tel.HeatmapEvery == 0 {
+			tel.HeatmapSink(e+1, NewHeatmap(spec, agent.Net()))
+		}
 	}
 	return res
 }

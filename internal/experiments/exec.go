@@ -152,6 +152,7 @@ func ExecSweepT(sc Scale, trainNN bool, tel *Telemetry) *ExecSweepResult {
 				OpScale: sc.OpScale,
 				Seed:    seed,
 				Obs:     tel.suiteConfig(),
+				Trace:   tel.traceConfig(),
 			})
 		if !r.Finished {
 			panic(cellFailure(label, r))
@@ -271,7 +272,8 @@ func MixedWorkloadsT(sc Scale, trainNN bool, tel *Telemetry) *MixResult {
 		label := fmt.Sprintf("%dL%dH/%s", 4-high, high, f.Name)
 		seed := sc.Seed + int64(high+1)*773
 		r := apu.RunWorkload(apu.Config{}, f.New(seed+int64(pi)), quads[high],
-			apu.RunnerConfig{OpScale: sc.OpScale, Seed: seed, Obs: tel.suiteConfig()})
+			apu.RunnerConfig{OpScale: sc.OpScale, Seed: seed, Obs: tel.suiteConfig(),
+				Trace: tel.traceConfig()})
 		if !r.Finished {
 			panic(cellFailure(label, r))
 		}
@@ -342,7 +344,8 @@ func AblationT(sc Scale, tel *Telemetry) *AblationResult {
 		// so copying the variant struct is enough for concurrency safety.
 		p := *v.p
 		r := apu.RunWorkload(apu.Config{}, &p, apu.Homogeneous(model),
-			apu.RunnerConfig{OpScale: sc.OpScale, Seed: seed, Obs: tel.suiteConfig()})
+			apu.RunnerConfig{OpScale: sc.OpScale, Seed: seed, Obs: tel.suiteConfig(),
+				Trace: tel.traceConfig()})
 		if !r.Finished {
 			panic(cellFailure(label, r))
 		}

@@ -156,6 +156,7 @@ func FaultSweepRates(sc Scale, tel *Telemetry, rates []float64) *FaultSweepResul
 				OpScale: sc.OpScale,
 				Seed:    seed,
 				Obs:     tel.suiteConfig(),
+				Trace:   tel.traceConfig(),
 				Faults:  &spec,
 			})
 		if !r.Finished {

@@ -6,6 +6,7 @@ import (
 
 	"mlnoc/internal/apu"
 	"mlnoc/internal/obs"
+	"mlnoc/internal/trace"
 )
 
 // Telemetry configures observability for the APU sweep experiments
@@ -29,6 +30,11 @@ type Telemetry struct {
 	// SampleEvery is the collector sampling period in cycles (default 16; a
 	// sweep samples coarsely to stay cheap).
 	SampleEvery int64
+	// Trace, if non-nil, attaches a per-message lifecycle tracer to every
+	// cell; TraceSink receives each cell's tracer (serialized across
+	// workers). Both must be set for tracing to run.
+	Trace     *trace.Config
+	TraceSink func(label string, t *trace.Tracer)
 
 	mu   sync.Mutex
 	done int
@@ -47,6 +53,16 @@ func (t *Telemetry) suiteConfig() *obs.SuiteConfig {
 	return &obs.SuiteConfig{SampleEvery: every, Watchdog: t.Watchdog}
 }
 
+// traceConfig returns the per-cell trace configuration, or nil when no trace
+// sink is installed.
+func (t *Telemetry) traceConfig() *trace.Config {
+	if t == nil || t.Trace == nil || t.TraceSink == nil {
+		return nil
+	}
+	cfg := *t.Trace
+	return &cfg
+}
+
 // cellDone records one finished cell: snapshots it into the registry and
 // reports progress.
 func (t *Telemetry) cellDone(total int, label string, r apu.ExecResult) {
@@ -58,6 +74,9 @@ func (t *Telemetry) cellDone(total int, label string, r apu.ExecResult) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.TraceSink != nil && r.Trace != nil {
+		t.TraceSink(label, r.Trace)
+	}
 	t.done++
 	if t.Progress != nil {
 		t.Progress(t.done, total, label)

@@ -119,6 +119,9 @@ func (n *Network) requeueLink(r *Router, p PortID) int {
 			requeued++
 			n.fstats.Requeued++
 			r.in[p][d.msg.Class].push(n.cycle, d.msg)
+			if len(n.faultObs) > 0 {
+				n.observeRequeue(r, p, d.msg)
+			}
 		}
 		for i := len(kept); i < len(ds); i++ {
 			ds[i] = delivery{}
@@ -142,13 +145,16 @@ func (n *Network) requeueLink(r *Router, p PortID) int {
 // Injected == Delivered + Unreachable + InFlight holds at every instant.
 func (n *Network) RequeueStranded(strand func(r *Router, p PortID, m *Message) bool) int {
 	requeued := 0
-	reinject := func(m *Message) {
+	reinject := func(r *Router, p PortID, m *Message) {
 		n.stats.Injected--
 		n.inflightCount--
 		n.inflightBase -= m.InjectCycle
 		n.inflightBySrc[m.Src]--
 		n.fstats.Requeued++
 		requeued++
+		if len(n.faultObs) > 0 {
+			n.observeRequeue(r, p, m)
+		}
 		n.nodes[m.Src].Inject(m)
 	}
 	for _, r := range n.routers {
@@ -157,7 +163,7 @@ func (n *Network) RequeueStranded(strand func(r *Router, p PortID, m *Message) b
 				kept := buf.q[:0]
 				for _, m := range buf.q {
 					if strand(r, p, m) {
-						reinject(m)
+						reinject(r, p, m)
 					} else {
 						kept = append(kept, m)
 					}
@@ -183,7 +189,7 @@ func (n *Network) RequeueStranded(strand func(r *Router, p PortID, m *Message) b
 			d.router.in[d.port][d.vc].reserved--
 			d.msg.HopCount--
 			n.pending--
-			reinject(d.msg)
+			reinject(d.router, d.port, d.msg)
 		}
 		for i := len(kept); i < len(ds); i++ {
 			ds[i] = delivery{}
@@ -215,6 +221,9 @@ func (n *Network) evictUnreachable(r *Router) {
 				n.inflightBySrc[m.Src]--
 				if n.onUnreachable != nil {
 					n.onUnreachable(n.cycle, r, m)
+				}
+				if len(n.faultObs) > 0 {
+					n.observeUnreachable(r, m)
 				}
 			}
 		}

@@ -91,7 +91,9 @@ type Network struct {
 	fstats        FaultStats
 	onUnreachable func(now int64, r *Router, m *Message)
 
-	observers []Observer // engine instrumentation (see observe.go)
+	observers []Observer      // engine instrumentation (see observe.go)
+	arbObs    []ArbObserver   // observers that also watch whole arbitrations
+	faultObs  []FaultObserver // observers that also watch fault events
 
 	cycle int64
 
@@ -542,6 +544,9 @@ func (n *Network) arbitrate() {
 			if n.grantOb != nil {
 				n.grantOb.ObserveGrant(&ctx, cands, choice)
 			}
+			if len(n.arbObs) > 0 && len(cands) > 1 {
+				n.observeArb(r, out, cands, choice)
+			}
 			n.applyGrant(r, out, cands[choice])
 		}
 	}
@@ -582,6 +587,9 @@ func (n *Network) arbitrateMatched() {
 		}
 		var usedIn [MaxPorts]bool
 		for i, g := range grants {
+			if len(n.arbObs) > 0 && (len(reqs[i].Cands) > 1 || g < 0) {
+				n.observeArb(r, reqs[i].Out, reqs[i].Cands, g)
+			}
 			if g < 0 {
 				continue
 			}

@@ -14,6 +14,14 @@ package obs
 
 import (
 	"mlnoc/internal/noc"
+	"mlnoc/internal/stats"
+)
+
+// Latency-histogram shape: 4-cycle bins up to 1024 cycles, with quantiles in
+// the overflow region interpolated toward the exact observed maximum.
+const (
+	latencyBinWidth = 4
+	latencyBins     = 256
 )
 
 // portCounters accumulates per-input-port measurements.
@@ -43,6 +51,9 @@ type Collector struct {
 	routers     []routerCounters
 	injected    int64
 	delivered   int64
+	// latency histograms generation-to-delivery latency for quantile
+	// reporting (p50/p95/p99 in snapshots).
+	latency *stats.Histogram
 }
 
 // AttachCollector creates a Collector for net and installs its hooks.
@@ -57,6 +68,7 @@ func AttachCollector(net *noc.Network, sampleEvery int64) *Collector {
 		sampleEvery: sampleEvery,
 		startCycle:  net.Cycle(),
 		routers:     make([]routerCounters, len(net.Routers())),
+		latency:     stats.NewHistogram(latencyBinWidth, latencyBins),
 	}
 	vcs := net.Config().VCs
 	for i, r := range net.Routers() {
@@ -87,7 +99,12 @@ func (c *Collector) ObserveGrant(now int64, r *noc.Router, out noc.PortID, cand 
 func (c *Collector) ObserveDeliver(now int64, node *noc.Node, m *noc.Message) {
 	c.delivered++
 	c.routers[node.Router.ID()].delivered++
+	c.latency.Add(float64(now - m.GenCycle))
 }
+
+// LatencyQuantile returns the q-th quantile (0 <= q <= 1) of
+// generation-to-delivery latency over the messages delivered since attach.
+func (c *Collector) LatencyQuantile(q float64) float64 { return c.latency.Quantile(q) }
 
 // onCycle samples buffer state after arbitration.
 func (c *Collector) onCycle(net *noc.Network) {

@@ -171,3 +171,33 @@ func sortedStrings(xs []string) bool {
 	}
 	return true
 }
+
+// TestSnapshotLatencyQuantiles pins the end-to-end latency quantiles added to
+// the snapshot: present when traffic was delivered, ordered, and bounded by
+// the engine's exact latency statistics.
+func TestSnapshotLatencyQuantiles(t *testing.T) {
+	net, suite := runUniform(t, SuiteConfig{SampleEvery: 1}, 0.1, 3000)
+	snap := suite.Snapshot()
+	if snap.Delivered == 0 {
+		t.Fatal("no traffic delivered")
+	}
+	if snap.LatencyP50 <= 0 {
+		t.Fatalf("LatencyP50 = %v, want > 0", snap.LatencyP50)
+	}
+	if snap.LatencyP50 > snap.LatencyP95 || snap.LatencyP95 > snap.LatencyP99 {
+		t.Fatalf("quantiles not ordered: p50 %v, p95 %v, p99 %v",
+			snap.LatencyP50, snap.LatencyP95, snap.LatencyP99)
+	}
+	st := net.Stats()
+	if snap.LatencyP99 > st.Latency.Max() {
+		t.Fatalf("p99 %v exceeds exact max %v", snap.LatencyP99, st.Latency.Max())
+	}
+	if snap.LatencyP50 > st.Latency.Max() || snap.LatencyP99 < st.Latency.Min() {
+		t.Fatalf("quantiles outside the exact latency range [%v, %v]",
+			st.Latency.Min(), st.Latency.Max())
+	}
+	// The direct accessor agrees with the snapshot fields.
+	if got := suite.Collector.LatencyQuantile(0.95); got != snap.LatencyP95 {
+		t.Fatalf("LatencyQuantile(0.95) = %v, snapshot p95 = %v", got, snap.LatencyP95)
+	}
+}

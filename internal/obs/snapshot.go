@@ -36,13 +36,19 @@ type RouterSnapshot struct {
 // alerts, when taken through a Suite). It is a plain value: safe to hand to
 // a Registry, marshal, and compare.
 type Snapshot struct {
-	Cycle     int64            `json:"cycle"`
-	Samples   int64            `json:"samples"`
-	Injected  int64            `json:"injected"`
-	Delivered int64            `json:"delivered"`
-	InFlight  int64            `json:"in_flight"`
-	Routers   []RouterSnapshot `json:"routers"`
-	Alerts    []Alert          `json:"alerts,omitempty"`
+	Cycle     int64 `json:"cycle"`
+	Samples   int64 `json:"samples"`
+	Injected  int64 `json:"injected"`
+	Delivered int64 `json:"delivered"`
+	InFlight  int64 `json:"in_flight"`
+	// LatencyP50/P95/P99 are generation-to-delivery latency quantiles over
+	// the messages delivered since attach, interpolated from a fixed-bin
+	// histogram (absent when nothing was delivered).
+	LatencyP50 float64          `json:"latency_p50,omitempty"`
+	LatencyP95 float64          `json:"latency_p95,omitempty"`
+	LatencyP99 float64          `json:"latency_p99,omitempty"`
+	Routers    []RouterSnapshot `json:"routers"`
+	Alerts     []Alert          `json:"alerts,omitempty"`
 	// SuppressedAlerts counts watchdog alerts beyond the recording cap.
 	SuppressedAlerts int64 `json:"suppressed_alerts,omitempty"`
 	// Seed is the RNG seed of the run that produced this snapshot, recorded
@@ -61,6 +67,11 @@ func (c *Collector) Snapshot() *Snapshot {
 		Injected:  c.injected,
 		Delivered: c.delivered,
 		InFlight:  c.net.InFlight(),
+	}
+	if c.latency.Count() > 0 {
+		s.LatencyP50 = c.latency.Quantile(0.50)
+		s.LatencyP95 = c.latency.Quantile(0.95)
+		s.LatencyP99 = c.latency.Quantile(0.99)
 	}
 	if c.net.Faulty() {
 		fs := c.net.FaultStats()

@@ -110,6 +110,11 @@ type DQL struct {
 	Replay *Replay
 	Cfg    DQLConfig
 
+	// Trace, when non-nil, records per-batch training telemetry (loss,
+	// replay fill, epsilon, target syncs). Recording is passive: it draws no
+	// randomness and never alters the training trajectory.
+	Trace *TrainingTrace
+
 	steps int64
 }
 
@@ -163,9 +168,16 @@ func (d *DQL) TrainBatch(rng *rand.Rand) float64 {
 		d.steps++
 		if d.steps%d.Cfg.SyncEvery == 0 {
 			d.Target.CopyFrom(d.Online)
+			if d.Trace != nil {
+				d.Trace.observeSync(d.steps)
+			}
 		}
 	}
-	return total / float64(len(batch))
+	loss := total / float64(len(batch))
+	if d.Trace != nil {
+		d.Trace.observeBatch(d, loss)
+	}
+	return loss
 }
 
 // Steps returns the number of single-experience SGD updates performed.

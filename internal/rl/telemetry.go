@@ -1,0 +1,59 @@
+package rl
+
+// TrainingTrace records the telemetry of a DQL training run — the curves
+// that answer "did this run actually converge": per-batch TD loss, replay
+// occupancy, exploration rate and target-network synchronization points.
+// Install one on DQL.Trace before training; recording is passive and never
+// perturbs the learner (no RNG draws, no weight reads).
+//
+// One point is appended per Every TrainBatch calls (default 1). All curve
+// slices are index-aligned; Steps carries the x-axis.
+type TrainingTrace struct {
+	// Every throttles recording to one point per Every training batches.
+	Every int64
+
+	// Steps is the SGD-step count (DQL.Steps) at each recorded point.
+	Steps []int64
+	// Loss is the mean squared TD error of the recorded batch.
+	Loss []float64
+	// ReplayFill is the replay-memory occupancy fraction in [0, 1].
+	ReplayFill []float64
+	// Epsilon is the exploration rate at each point, fed by the training
+	// harness via ObserveEpsilon (zero if never fed).
+	Epsilon []float64
+	// SyncSteps lists the SGD-step counts at which the target network was
+	// refreshed from the online network.
+	SyncSteps []int64
+
+	batches int64
+	eps     float64
+}
+
+// ObserveEpsilon updates the exploration rate that the next recorded point
+// will carry. The agent (which owns the decay schedule) calls it once per
+// cycle; the trace itself never computes epsilon.
+func (t *TrainingTrace) ObserveEpsilon(eps float64) { t.eps = eps }
+
+// observeSync records a target-network refresh at the given step count.
+func (t *TrainingTrace) observeSync(step int64) {
+	t.SyncSteps = append(t.SyncSteps, step)
+}
+
+// observeBatch folds one TrainBatch outcome into the trace.
+func (t *TrainingTrace) observeBatch(d *DQL, loss float64) {
+	t.batches++
+	every := t.Every
+	if every < 1 {
+		every = 1
+	}
+	if t.batches%every != 0 {
+		return
+	}
+	t.Steps = append(t.Steps, d.Steps())
+	t.Loss = append(t.Loss, loss)
+	t.ReplayFill = append(t.ReplayFill, float64(d.Replay.Len())/float64(d.Replay.Cap()))
+	t.Epsilon = append(t.Epsilon, t.eps)
+}
+
+// Points returns the number of recorded curve points.
+func (t *TrainingTrace) Points() int { return len(t.Steps) }

@@ -192,6 +192,52 @@ func (h *Histogram) Percentile(p float64) float64 {
 	return h.acc.Max()
 }
 
+// Quantile returns the q-th quantile (0 <= q <= 1) of the samples, linearly
+// interpolated within the containing bin: the quantile mass is assumed to be
+// spread uniformly across each bin's width. Results are clamped to the exact
+// observed [Min, Max], so Quantile(0) is the minimum and Quantile(1) the
+// maximum. A quantile falling in the overflow bucket interpolates between the
+// last bin edge and the exact observed maximum — a coarse but bounded
+// estimate, since the overflow bucket records no interior structure. An empty
+// histogram returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("stats: quantile must be in [0,1]")
+	}
+	total := h.acc.Count()
+	if total == 0 {
+		return 0
+	}
+	clamp := func(v float64) float64 {
+		if v < h.acc.Min() {
+			v = h.acc.Min()
+		}
+		if v > h.acc.Max() {
+			v = h.acc.Max()
+		}
+		return v
+	}
+	target := q * float64(total)
+	var cum int64
+	for i, c := range h.bins {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= target {
+			frac := (target - float64(cum)) / float64(c)
+			return clamp((float64(i) + frac) * h.binWidth)
+		}
+		cum += c
+	}
+	// The quantile falls in the overflow bucket.
+	if h.overflow == 0 {
+		return h.acc.Max()
+	}
+	lo := float64(len(h.bins)) * h.binWidth
+	frac := (target - float64(total-h.overflow)) / float64(h.overflow)
+	return clamp(lo + frac*(h.acc.Max()-lo))
+}
+
 // Percentile returns the p-th percentile (0 < p <= 100) of xs using the
 // nearest-rank method. It does not modify xs.
 func Percentile(xs []float64, p float64) float64 {

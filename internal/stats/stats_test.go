@@ -295,3 +295,99 @@ func TestQuickAccumulatorMeanBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	// 10 bins of width 10 holding 0..99: every decile boundary lands exactly.
+	h := NewHistogram(10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("Quantile(0) = %v, want observed min 0", got)
+	}
+	if got := h.Quantile(1); got != 99 {
+		t.Fatalf("Quantile(1) = %v, want observed max 99", got)
+	}
+	if got := h.Quantile(0.5); got != 50 {
+		t.Fatalf("Quantile(0.5) = %v, want 50", got)
+	}
+	// Within-bin interpolation: quantile 0.25 is halfway through bin 2.
+	if got := h.Quantile(0.25); got != 25 {
+		t.Fatalf("Quantile(0.25) = %v, want 25", got)
+	}
+	// Monotonicity across the whole range.
+	prev := h.Quantile(0)
+	for q := 0.05; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%v gives %v after %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramQuantileOverflow(t *testing.T) {
+	// Bins cover [0,4); two samples overflow with observed max 10. Quantiles
+	// in the overflow bucket interpolate between the last bin edge and the
+	// exact max.
+	h := NewHistogram(1, 4)
+	for _, x := range []float64{0.5, 1.5, 2.5, 3.5, 6, 10} {
+		h.Add(x)
+	}
+	if h.Overflow() != 2 {
+		t.Fatalf("Overflow = %d, want 2", h.Overflow())
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Fatalf("Quantile(1) = %v, want observed max 10", got)
+	}
+	// target = 5 of 6 samples: halfway into the overflow mass, so halfway
+	// between the last bin edge (4) and the max (10).
+	if got, want := h.Quantile(5.0/6), 7.0; !almostEqual(got, want, 1e-9) {
+		t.Fatalf("overflow Quantile = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram(1, 4)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram Quantile = %v, want 0", got)
+	}
+	// A single sample answers every quantile with itself (clamped to [min,max]).
+	h.Add(2.5)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 2.5 {
+			t.Fatalf("single-sample Quantile(%v) = %v, want 2.5", q, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile accepted q > 1")
+		}
+	}()
+	h.Quantile(1.5)
+}
+
+func TestQuickHistogramQuantileBounded(t *testing.T) {
+	// Property: quantiles stay within the exact observed [min, max] and are
+	// monotone in q, overflow or not.
+	rng := rand.New(rand.NewSource(9))
+	f := func(n8 uint8) bool {
+		n := int(n8)%60 + 1
+		h := NewHistogram(2, 8) // covers [0,16); larger samples overflow
+		for i := 0; i < n; i++ {
+			h.Add(rng.Float64() * 40)
+		}
+		prev := h.Quantile(0)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := h.Quantile(q)
+			if v < h.acc.Min()-1e-9 || v > h.acc.Max()+1e-9 || v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"mlnoc/internal/noc"
+	"mlnoc/internal/stats"
+	"mlnoc/internal/viz"
+)
+
+// MsgRecord is the folded lifecycle of one traced message: where its
+// end-to-end latency went. The decomposition is exact for delivered messages
+// with a complete trace:
+//
+//	Total = SourceQueue + Queue + ArbLosses + Link
+//
+// where SourceQueue is time spent in the source node's injection queue,
+// ArbLosses counts cycles lost as a defeated head-of-buffer candidate in a
+// contested arbitration (one cycle per loss), Link is cycles spent
+// serializing across links (including the final ejection), and Queue is the
+// residual: buffered cycles not attributable to a recorded arbitration loss
+// (head-of-line blocking behind a busy output, credit stalls, uncontested
+// idle cycles). On faulty networks a requeue aborts an in-flight
+// serialization whose cycles were already charged to Link, so Queue can go
+// negative there; it is exact on healthy networks.
+type MsgRecord struct {
+	ID           uint64
+	Src          noc.NodeID
+	Dst          noc.NodeID
+	Class        noc.Class
+	InjectCycle  int64
+	DeliverCycle int64
+	Total        int64
+	SourceQueue  int64
+	Queue        int64
+	ArbLosses    int64
+	Link         int64
+	Hops         int // link traversals, including the ejection
+	Reroutes     int
+	Requeues     int
+}
+
+// ComponentStats summarizes one latency component across a message
+// population.
+type ComponentStats struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+func component(xs []float64) ComponentStats {
+	if len(xs) == 0 {
+		return ComponentStats{}
+	}
+	return ComponentStats{
+		Mean: stats.Mean(xs),
+		P50:  stats.Percentile(xs, 50),
+		P95:  stats.Percentile(xs, 95),
+		P99:  stats.Percentile(xs, 99),
+		Max:  stats.Max(xs),
+	}
+}
+
+// ClassBreakdown aggregates the latency decomposition over the delivered,
+// completely-traced messages of one class (or all classes for the Overall
+// row).
+type ClassBreakdown struct {
+	Class       string         `json:"class"`
+	Count       int            `json:"count"`
+	Total       ComponentStats `json:"total"`
+	SourceQueue ComponentStats `json:"source_queue"`
+	Queue       ComponentStats `json:"queue"`
+	ArbLoss     ComponentStats `json:"arb_loss"`
+	Link        ComponentStats `json:"link"`
+}
+
+// Breakdown is the latency-breakdown analysis of a trace.
+type Breakdown struct {
+	// Msgs holds one record per delivered, completely-traced message, in
+	// delivery order.
+	Msgs []MsgRecord
+	// ByClass aggregates per message class, ordered by class; Overall
+	// aggregates across all classes.
+	ByClass []ClassBreakdown
+	Overall ClassBreakdown
+	// Incomplete counts delivered messages whose early events were evicted
+	// by ring wrap-around; they are excluded from Msgs and the aggregates.
+	Incomplete int
+	// InFlight counts traced messages injected but not delivered within the
+	// trace window.
+	InFlight int
+	// Unreachable counts traced messages evicted as unreachable.
+	Unreachable int
+}
+
+// Analyze folds the tracer's retained events into a latency breakdown.
+func Analyze(t *Tracer) *Breakdown { return AnalyzeEvents(t.Events()) }
+
+// AnalyzeEvents folds an event stream (in recording order) into a latency
+// breakdown. Messages whose inject event is missing — evicted by ring
+// wrap-around — are counted as Incomplete rather than skewing the
+// aggregates: the ring evicts oldest-first, so a retained inject implies the
+// message's entire later lifecycle is retained too.
+func AnalyzeEvents(events []Event) *Breakdown {
+	type open struct {
+		rec       MsgRecord
+		hasInject bool
+	}
+	b := &Breakdown{}
+	inFlight := make(map[uint64]*open)
+	for _, e := range events {
+		o := inFlight[e.MsgID]
+		if o == nil {
+			o = &open{rec: MsgRecord{ID: e.MsgID, Src: e.Src, Dst: e.Dst, Class: e.Class}}
+			inFlight[e.MsgID] = o
+		}
+		switch e.Kind {
+		case KindInject:
+			o.hasInject = true
+			o.rec.InjectCycle = e.Cycle
+			o.rec.SourceQueue = e.Dur
+		case KindArbLoss:
+			o.rec.ArbLosses++
+		case KindLink:
+			o.rec.Link += e.Dur
+			o.rec.Hops++
+		case KindReroute:
+			o.rec.Reroutes++
+		case KindRequeue:
+			o.rec.Requeues++
+		case KindDeliver:
+			delete(inFlight, e.MsgID)
+			if !o.hasInject {
+				b.Incomplete++
+				continue
+			}
+			o.rec.DeliverCycle = e.Cycle
+			o.rec.Total = e.Dur
+			o.rec.Queue = o.rec.Total - o.rec.SourceQueue - o.rec.ArbLosses - o.rec.Link
+			b.Msgs = append(b.Msgs, o.rec)
+		case KindUnreachable:
+			delete(inFlight, e.MsgID)
+			b.Unreachable++
+		}
+	}
+	b.InFlight = len(inFlight)
+	b.aggregate()
+	return b
+}
+
+func (b *Breakdown) aggregate() {
+	byClass := make(map[noc.Class][]MsgRecord)
+	for _, m := range b.Msgs {
+		byClass[m.Class] = append(byClass[m.Class], m)
+	}
+	classes := make([]noc.Class, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, c := range classes {
+		b.ByClass = append(b.ByClass, aggregateClass(fmt.Sprintf("vc%d", c), byClass[c]))
+	}
+	b.Overall = aggregateClass("all", b.Msgs)
+}
+
+func aggregateClass(name string, msgs []MsgRecord) ClassBreakdown {
+	n := len(msgs)
+	total := make([]float64, n)
+	srcq := make([]float64, n)
+	queue := make([]float64, n)
+	arb := make([]float64, n)
+	link := make([]float64, n)
+	for i, m := range msgs {
+		total[i] = float64(m.Total)
+		srcq[i] = float64(m.SourceQueue)
+		queue[i] = float64(m.Queue)
+		arb[i] = float64(m.ArbLosses)
+		link[i] = float64(m.Link)
+	}
+	return ClassBreakdown{
+		Class:       name,
+		Count:       n,
+		Total:       component(total),
+		SourceQueue: component(srcq),
+		Queue:       component(queue),
+		ArbLoss:     component(arb),
+		Link:        component(link),
+	}
+}
+
+// Render formats the breakdown as an aligned text table: one row per class
+// plus an overall row, with the total-latency quantiles and the mean of each
+// component.
+func (b *Breakdown) Render() string {
+	headers := []string{"class", "msgs", "total", "p50", "p95", "p99",
+		"srcq", "queue", "arb", "link"}
+	row := func(c ClassBreakdown) []string {
+		return []string{
+			c.Class,
+			fmt.Sprintf("%d", c.Count),
+			fmt.Sprintf("%.1f", c.Total.Mean),
+			fmt.Sprintf("%.0f", c.Total.P50),
+			fmt.Sprintf("%.0f", c.Total.P95),
+			fmt.Sprintf("%.0f", c.Total.P99),
+			fmt.Sprintf("%.1f", c.SourceQueue.Mean),
+			fmt.Sprintf("%.1f", c.Queue.Mean),
+			fmt.Sprintf("%.1f", c.ArbLoss.Mean),
+			fmt.Sprintf("%.1f", c.Link.Mean),
+		}
+	}
+	rows := make([][]string, 0, len(b.ByClass)+1)
+	for _, c := range b.ByClass {
+		rows = append(rows, row(c))
+	}
+	rows = append(rows, row(b.Overall))
+	out := viz.Table(headers, rows)
+	if b.Incomplete > 0 || b.InFlight > 0 || b.Unreachable > 0 {
+		out += fmt.Sprintf("excluded: %d incomplete (ring eviction), %d in flight, %d unreachable\n",
+			b.Incomplete, b.InFlight, b.Unreachable)
+	}
+	return out
+}

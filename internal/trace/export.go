@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mlnoc/internal/noc"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// the format Perfetto and chrome://tracing load directly. Timestamps are in
+// microseconds; the exporter maps one simulator cycle to one microsecond.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the tracer's retained events as Chrome trace-event
+// JSON loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+// The layout maps the topology onto the trace model: each router is a
+// process, each router port a thread (track), granted link traversals are
+// complete slices on the output port's track, and each message's
+// generation-to-delivery lifetime is an async slice keyed by message ID.
+// Arbitration losses, reroutes, requeues and unreachable evictions appear as
+// instant events at the router-port where they occurred.
+func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	events := make([]chromeEvent, 0, 2*t.Len()+8*len(t.net.Routers()))
+	for _, r := range t.net.Routers() {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: r.ID(),
+			Args: map[string]any{"name": fmt.Sprintf("router %d %s", r.ID(), r.Coord)},
+		})
+		for p := noc.PortID(0); p < noc.MaxPorts; p++ {
+			if !r.HasPort(p) {
+				continue
+			}
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: r.ID(), Tid: int(p),
+				Args: map[string]any{"name": p.String()},
+			})
+		}
+	}
+	for _, e := range t.Events() {
+		name := fmt.Sprintf("msg %d", e.MsgID)
+		args := map[string]any{
+			"msg": e.MsgID, "src": int(e.Src), "dst": int(e.Dst), "vc": int(e.Class),
+		}
+		switch e.Kind {
+		case KindLink:
+			events = append(events, chromeEvent{
+				Name: name, Cat: "link", Ph: "X",
+				Ts: e.Cycle, Dur: e.Dur, Pid: e.Router, Tid: int(e.Out), Args: args,
+			})
+		case KindInject:
+			events = append(events, chromeEvent{
+				Name: name, Cat: "msg", Ph: "b", ID: fmt.Sprintf("%d", e.MsgID),
+				Ts: e.Cycle - e.Dur, Pid: e.Router, Tid: int(e.Port), Args: args,
+			})
+		case KindDeliver:
+			args["latency"] = e.Dur
+			events = append(events, chromeEvent{
+				Name: name, Cat: "msg", Ph: "e", ID: fmt.Sprintf("%d", e.MsgID),
+				Ts: e.Cycle, Pid: e.Router, Tid: int(e.Port), Args: args,
+			})
+		case KindArbLoss:
+			args["cands"] = e.NumCands
+			args["competing"] = fmt.Sprintf("%#x", e.Competing)
+			args["win_port"] = int(e.WinPort)
+			args["win_vc"] = e.WinVC
+			events = append(events, chromeEvent{
+				Name: "arb-loss", Cat: "arb", Ph: "i", S: "t",
+				Ts: e.Cycle, Pid: e.Router, Tid: int(e.Out), Args: args,
+			})
+		case KindReroute, KindRequeue, KindUnreachable:
+			tid := int(e.Port)
+			if e.Kind == KindReroute {
+				tid = int(e.Out)
+			}
+			if tid < 0 {
+				tid = 0
+			}
+			events = append(events, chromeEvent{
+				Name: e.Kind.String(), Cat: "fault", Ph: "i", S: "t",
+				Ts: e.Cycle, Pid: e.Router, Tid: tid, Args: args,
+			})
+		}
+	}
+	out := struct {
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+	}{DisplayTimeUnit: "ms", TraceEvents: events}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// WriteCSV writes the tracer's retained events as compact CSV, one event per
+// row in recording order — the grep/pandas-friendly companion of the
+// Perfetto export.
+func WriteCSV(w io.Writer, t *Tracer) error {
+	if _, err := io.WriteString(w,
+		"cycle,kind,msg,src,dst,class,router,port,vc,out,dur,cands,competing,win_port,win_vc\n"); err != nil {
+		return err
+	}
+	for _, e := range t.Events() {
+		_, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%#x,%d,%d\n",
+			e.Cycle, e.Kind, e.MsgID, e.Src, e.Dst, e.Class,
+			e.Router, e.Port, e.VC, e.Out, e.Dur,
+			e.NumCands, e.Competing, e.WinPort, e.WinVC)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

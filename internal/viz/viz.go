@@ -28,20 +28,35 @@ func shade(v, max float64) byte {
 	return shades[i]
 }
 
-// Heatmap renders a shaded grid with row and column labels. Values are
-// normalized to the grid's maximum absolute value. Column labels are grouped:
-// consecutive labels sharing the prefix before the last '.' are printed once.
+// Heatmap renders a shaded grid with row and column labels. Cell magnitudes
+// are normalized over the observed [min |v|, max |v|] range — not against the
+// maximum alone — so matrices whose magnitudes cluster in a narrow band (e.g.
+// trained weight rows hovering around one value) still show contrast.
+// Degenerate matrices never divide by zero: an all-zero matrix renders blank
+// and an all-equal non-zero matrix (including all-negative ones) renders
+// uniformly darkest. Column labels are grouped: consecutive labels sharing
+// the prefix before the last '.' are printed once.
 func Heatmap(rowLabels, colLabels []string, values [][]float64) string {
 	if len(values) == 0 {
 		return "(empty heatmap)\n"
 	}
-	maxAbs := 0.0
+	minAbs, maxAbs := math.Inf(1), 0.0
 	for _, row := range values {
 		for _, v := range row {
-			if a := math.Abs(v); a > maxAbs {
+			a := math.Abs(v)
+			if math.IsNaN(a) {
+				continue
+			}
+			if a > maxAbs {
 				maxAbs = a
 			}
+			if a < minAbs {
+				minAbs = a
+			}
 		}
+	}
+	if math.IsInf(minAbs, 1) {
+		minAbs = 0
 	}
 	labelW := 0
 	for _, l := range rowLabels {
@@ -78,12 +93,31 @@ func Heatmap(rowLabels, colLabels []string, values [][]float64) string {
 		}
 		fmt.Fprintf(&b, "%-*s |", labelW, label)
 		for _, v := range row {
-			b.WriteByte(shade(math.Abs(v), maxAbs))
+			b.WriteByte(shadeNorm(math.Abs(v), minAbs, maxAbs))
 		}
 		b.WriteString("|\n")
 	}
-	fmt.Fprintf(&b, "%-*s  scale: ' '=0 .. '@'=%.4f\n", labelW, "", maxAbs)
+	if maxAbs > 0 && maxAbs-minAbs <= 0 {
+		fmt.Fprintf(&b, "%-*s  scale: uniform magnitude %.4f\n", labelW, "", maxAbs)
+	} else {
+		fmt.Fprintf(&b, "%-*s  scale: ' '=%.4f .. '@'=%.4f\n", labelW, "", minAbs, maxAbs)
+	}
 	return b.String()
+}
+
+// shadeNorm maps magnitude a onto the shade ramp normalized over the observed
+// magnitude range [minAbs, maxAbs]. Degenerate ranges are explicit rather
+// than divisions by zero: no observed magnitude (maxAbs <= 0) renders blank,
+// a zero-width range of non-zero magnitudes renders darkest.
+func shadeNorm(a, minAbs, maxAbs float64) byte {
+	if math.IsNaN(a) || maxAbs <= 0 {
+		return shades[0]
+	}
+	span := maxAbs - minAbs
+	if span <= 0 {
+		return shades[len(shades)-1]
+	}
+	return shade(a-minAbs, span)
 }
 
 func groupPrefix(label string) string {

@@ -1,6 +1,7 @@
 package viz
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -116,5 +117,65 @@ func TestMatrixCSV(t *testing.T) {
 	want := "w,c1,c2\nr1,1.5,2\n"
 	if out != want {
 		t.Fatalf("MatrixCSV = %q, want %q", out, want)
+	}
+}
+
+// TestHeatmapDegenerate pins the explicit handling of matrices the range
+// normalization cannot spread: all-zero renders blank, all-equal non-zero
+// (including all-negative) renders uniformly darkest with the dedicated
+// legend, and neither divides by zero or emits NaN.
+func TestHeatmapDegenerate(t *testing.T) {
+	cells := func(out string) string {
+		var b strings.Builder
+		for _, l := range strings.Split(out, "\n") {
+			if i := strings.IndexByte(l, '|'); i >= 0 {
+				b.WriteString(l[i+1 : strings.LastIndexByte(l, '|')])
+			}
+		}
+		return b.String()
+	}
+
+	zero := Heatmap([]string{"r"}, []string{"a", "b"}, [][]float64{{0, 0}})
+	if got := cells(zero); strings.Trim(got, " ") != "" {
+		t.Fatalf("all-zero matrix not blank: %q\n%s", got, zero)
+	}
+	if strings.Contains(zero, "NaN") {
+		t.Fatalf("all-zero legend contains NaN:\n%s", zero)
+	}
+
+	neg := Heatmap([]string{"r"}, []string{"a", "b"}, [][]float64{{-0.7, -0.7}})
+	if got := cells(neg); got != "@@" {
+		t.Fatalf("all-equal negative matrix cells %q, want \"@@\"\n%s", got, neg)
+	}
+	if !strings.Contains(neg, "uniform magnitude 0.7000") {
+		t.Fatalf("uniform matrix legend missing:\n%s", neg)
+	}
+}
+
+// TestHeatmapNarrowBand pins the range normalization itself: magnitudes
+// clustered in a narrow band still span the full shade ramp.
+func TestHeatmapNarrowBand(t *testing.T) {
+	out := Heatmap([]string{"r"}, []string{"a", "b"}, [][]float64{{0.90, 1.0}})
+	if !strings.Contains(out, "@") {
+		t.Fatalf("band max not darkest:\n%s", out)
+	}
+	row := out[strings.IndexByte(out, '|')+1:]
+	if row[0] != ' ' {
+		t.Fatalf("band min cell %q, want blank (range-normalized)\n%s", row[0], out)
+	}
+	if !strings.Contains(out, "' '=0.9000 .. '@'=1.0000") {
+		t.Fatalf("range legend missing:\n%s", out)
+	}
+}
+
+func TestShadeNormDegenerate(t *testing.T) {
+	if got := shadeNorm(0.5, 0.5, 0.5); got != '@' {
+		t.Fatalf("zero-width non-zero range shade %q, want '@'", got)
+	}
+	if got := shadeNorm(0, 0, 0); got != ' ' {
+		t.Fatalf("no-magnitude shade %q, want blank", got)
+	}
+	if got := shadeNorm(math.NaN(), 0, 1); got != ' ' {
+		t.Fatalf("NaN shade %q, want blank", got)
 	}
 }
