@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test race vet fmt verify bench clean
+.PHONY: build test race vet fmt verify bench bench-diff bench-paper clean
 
 build:
 	$(GO) build ./...
@@ -28,8 +28,18 @@ fmt:
 # The PR gate: everything that must be green before merging.
 verify: fmt vet build test race
 
+# Refresh the hot-path benchmark snapshot (ns/op, B/op, allocs/op for the
+# BenchmarkHot* suite). bench-diff compares a fresh run against the committed
+# snapshot and exits 1 on a >25% ns/op regression; CI runs it non-gating.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) run ./cmd/bench -out BENCH_5.json -benchtime 2s
+
+bench-diff:
+	$(GO) run ./cmd/bench -diff BENCH_5.json
+
+# Full benchmark sweep across every package (slow; not snapshot-tracked).
+bench-paper:
+	$(GO) test -bench=. -benchmem ./...
 
 clean:
 	$(GO) clean ./...

@@ -19,6 +19,7 @@ import (
 	"mlnoc/internal/nn"
 	"mlnoc/internal/noc"
 	"mlnoc/internal/obs"
+	"mlnoc/internal/prof"
 	"mlnoc/internal/synfull"
 	"mlnoc/internal/trace"
 )
@@ -48,12 +49,18 @@ func main() {
 		"write the trace as compact CSV to this file (implies -trace)")
 	traceSample := flag.Uint64("trace-sample", 64,
 		"trace only every Nth message (APU runs generate millions)")
+	profCfg := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "apusim: "+format+"\n", args...)
 		os.Exit(2)
 	}
+	profStop, profErr := prof.Start(*profCfg)
+	if profErr != nil {
+		fail("%v", profErr)
+	}
+	defer profStop()
 	if *opscale <= 0 {
 		fail("-opscale must be positive, got %g", *opscale)
 	}

@@ -1,0 +1,185 @@
+// Command bench runs the repository's hot-path benchmark suite (the
+// BenchmarkHot* benchmarks next to the simulate/train hot path) and emits a
+// machine-readable snapshot for regression tracking:
+//
+//	bench -out BENCH_5.json                  # measure and write a snapshot
+//	bench -diff BENCH_5.json                 # measure and compare to a snapshot
+//	bench -diff BENCH_5.json -threshold 30   # tolerate up to +30% ns/op drift
+//
+// In -diff mode the exit status is 1 when any benchmark's ns/op regressed
+// beyond the threshold; CI runs it as a non-gating smoke job so noisy runners
+// flag rather than fail a build.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark measurement.
+type Benchmark struct {
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Snapshot is the on-disk format (BENCH_5.json).
+type Snapshot struct {
+	Go         string      `json:"go"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+var defaultPkgs = []string{
+	"./internal/noc", "./internal/nn", "./internal/rl", "./internal/core",
+}
+
+// benchLine matches `BenchmarkHotX-8  1234  56.7 ns/op  8 B/op  2 allocs/op`.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "", "write the snapshot JSON to this file")
+	diff := flag.String("diff", "", "compare against this baseline snapshot instead of writing one")
+	threshold := flag.Float64("threshold", 25, "ns/op regression tolerance in percent for -diff")
+	pattern := flag.String("bench", "Hot", "benchmark name pattern passed to go test -bench")
+	benchtime := flag.String("benchtime", "", "value for go test -benchtime (e.g. 100x, 2s); empty = default")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *out == "" && *diff == "" {
+		fail("pass -out FILE to record a snapshot or -diff FILE to compare against one")
+	}
+
+	snap, err := measure(*pattern, *benchtime)
+	if err != nil {
+		fail("%v", err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fail("no benchmarks matched pattern %q", *pattern)
+	}
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fail("%v", err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+	}
+	if *diff != "" {
+		base, err := load(*diff)
+		if err != nil {
+			fail("%v", err)
+		}
+		if regressed := compare(base, snap, *threshold); regressed {
+			os.Exit(1)
+		}
+	}
+}
+
+func measure(pattern, benchtime string) (*Snapshot, error) {
+	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchmem"}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, defaultPkgs...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test -bench: %v\n%s", err, stderr.String())
+	}
+	snap := &Snapshot{Go: runtime.Version()}
+	pkg := ""
+	sc := bufio.NewScanner(&stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Pkg:     pkg,
+			Name:    strings.TrimPrefix(m[1], "Benchmark"),
+			NsPerOp: ns,
+		}
+		if m[3] != "" {
+			b.BytesPerOp, _ = strconv.ParseInt(m[3], 10, 64)
+		}
+		if m[4] != "" {
+			b.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		snap.Benchmarks = append(snap.Benchmarks, b)
+	}
+	return snap, sc.Err()
+}
+
+func load(path string) (*Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{}
+	if err := json.Unmarshal(buf, snap); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return snap, nil
+}
+
+func compare(base, cur *Snapshot, threshold float64) (regressed bool) {
+	byKey := map[string]Benchmark{}
+	for _, b := range base.Benchmarks {
+		byKey[b.Pkg+"/"+b.Name] = b
+	}
+	fmt.Printf("%-42s %12s %12s %8s %s\n", "benchmark", "base ns/op", "ns/op", "delta", "allocs")
+	for _, c := range cur.Benchmarks {
+		key := c.Pkg + "/" + c.Name
+		b, ok := byKey[key]
+		if !ok {
+			fmt.Printf("%-42s %12s %12.0f %8s %d (new)\n", c.Name, "-", c.NsPerOp, "-", c.AllocsPerOp)
+			continue
+		}
+		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		flag := ""
+		if delta > threshold {
+			flag = "  << REGRESSION"
+			regressed = true
+		}
+		allocs := fmt.Sprintf("%d", c.AllocsPerOp)
+		if c.AllocsPerOp > b.AllocsPerOp {
+			allocs = fmt.Sprintf("%d (was %d)", c.AllocsPerOp, b.AllocsPerOp)
+		}
+		fmt.Printf("%-42s %12.0f %12.0f %+7.1f%% %s%s\n",
+			c.Name, b.NsPerOp, c.NsPerOp, delta, allocs, flag)
+	}
+	if regressed {
+		fmt.Printf("\nns/op regressions beyond +%.0f%% detected\n", threshold)
+	}
+	return regressed
+}

@@ -17,6 +17,7 @@ import (
 	"mlnoc/internal/core"
 	"mlnoc/internal/experiments"
 	"mlnoc/internal/obs"
+	"mlnoc/internal/prof"
 	"mlnoc/internal/synfull"
 	"mlnoc/internal/trace"
 	"mlnoc/internal/viz"
@@ -36,6 +37,7 @@ func main() {
 		"write one Chrome/Perfetto trace JSON per APU sweep cell into this directory")
 	traceSample := flag.Uint64("trace-sample", 64, "trace only every Nth message per cell")
 	flag.Usage = usage
+	profCfg := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
@@ -49,6 +51,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: -trace-sample must be >= 1, got %d\n", *traceSample)
 		os.Exit(2)
 	}
+	profStop, err := prof.Start(*profCfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	defer profStop()
 
 	var sc experiments.Scale
 	switch *scale {

@@ -18,6 +18,7 @@ import (
 	"mlnoc/internal/nn"
 	"mlnoc/internal/noc"
 	"mlnoc/internal/obs"
+	"mlnoc/internal/prof"
 	"mlnoc/internal/trace"
 	"mlnoc/internal/traffic"
 )
@@ -49,12 +50,18 @@ func main() {
 	traceCSV := flag.String("trace-csv", "",
 		"write the trace as compact CSV to this file (implies -trace)")
 	traceSample := flag.Uint64("trace-sample", 1, "trace only every Nth message (1 = all)")
+	profCfg := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "nocsim: "+format+"\n", args...)
 		os.Exit(2)
 	}
+	profStop, profErr := prof.Start(*profCfg)
+	if profErr != nil {
+		fail("%v", profErr)
+	}
+	defer profStop()
 	if *size <= 0 {
 		fail("-size must be positive, got %d", *size)
 	}

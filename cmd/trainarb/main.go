@@ -24,6 +24,7 @@ import (
 	"mlnoc/internal/core"
 	"mlnoc/internal/experiments"
 	"mlnoc/internal/noc"
+	"mlnoc/internal/prof"
 	"mlnoc/internal/rl"
 	"mlnoc/internal/trace"
 	"mlnoc/internal/traffic"
@@ -60,12 +61,18 @@ func main() {
 	traceOut := flag.String("trace-out", "",
 		"write the training-run trace as Chrome/Perfetto JSON to this file (implies -trace)")
 	traceSample := flag.Uint64("trace-sample", 16, "trace only every Nth message")
+	profCfg := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "trainarb: "+format+"\n", args...)
 		os.Exit(2)
 	}
+	profStop, err := prof.Start(*profCfg)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer profStop()
 	if *size <= 0 {
 		fail("-size must be positive, got %d", *size)
 	}

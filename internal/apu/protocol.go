@@ -58,17 +58,19 @@ type PhaseParams struct {
 	LLCHit        float64
 }
 
-// send constructs and injects a protocol message at the from node.
+// send constructs and injects a protocol message at the from node. Messages
+// come from the network's freelist: sinks extract the pkt payload by value
+// and never retain the *Message, so recycling at delivery is safe.
 func (s *System) send(from *noc.Node, to noc.NodeID, class noc.Class, typ noc.MsgType, flits int, p pkt) {
 	s.nextID++
-	from.Inject(&noc.Message{
-		ID:        s.nextID,
-		Dst:       to,
-		Class:     class,
-		Type:      typ,
-		SizeFlits: flits,
-		Payload:   p,
-	})
+	m := s.Net.AllocMessage()
+	m.ID = s.nextID
+	m.Dst = to
+	m.Class = class
+	m.Type = typ
+	m.SizeFlits = flits
+	m.Payload = p
+	from.Inject(m)
 }
 
 // timedMsg is a bank reply awaiting its service latency.

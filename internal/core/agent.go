@@ -42,7 +42,15 @@ type Agent struct {
 
 	// pending holds, per (router, output) arbitration site, the last
 	// decision awaiting its next state.
-	pending map[int64]*pendingDecision
+	pending map[int64]pendingDecision
+
+	// stateFree and validFree recycle the State/NextValid slices handed
+	// back by the replay ring on eviction, making steady-state Select
+	// allocation-free. evalState is the single state buffer reused by
+	// inference-only (non-training) agents, which never retain states.
+	stateFree [][]float64
+	validFree [][]int
+	evalState []float64
 
 	decisions int64
 	explored  int64
@@ -93,7 +101,7 @@ func NewAgent(spec *StateSpec, cfg AgentConfig) *Agent {
 	if cfg.DQL.Epsilon == 0 {
 		cfg.DQL.Epsilon = 0.001
 	}
-	return &Agent{
+	a := &Agent{
 		Spec:           spec,
 		DQL:            rl.NewDQL(net, cfg.DQL),
 		Reward:         rl.NewRewardTracker(cfg.Reward),
@@ -101,8 +109,49 @@ func NewAgent(spec *StateSpec, cfg AgentConfig) *Agent {
 		EpsStart:       cfg.EpsStart,
 		EpsDecayCycles: cfg.EpsDecayCycles,
 		rng:            rng,
-		pending:        make(map[int64]*pendingDecision),
+		pending:        make(map[int64]pendingDecision),
 	}
+	a.DQL.Replay.OnEvict = a.recycleExperience
+	return a
+}
+
+// recycleExperience returns an evicted experience's slices to the freelists.
+// Only State and NextValid are recycled: an evicted experience's Next slice
+// is the State of a younger, still-live experience (or of a pending
+// decision); it comes back through its own eviction. The ring's FIFO order
+// guarantees the one experience whose Next aliased this State is already
+// gone, so recycling State here can never corrupt a live tuple.
+func (a *Agent) recycleExperience(e *rl.Experience) {
+	if e.State != nil {
+		a.stateFree = append(a.stateFree, e.State)
+	}
+	if e.NextValid != nil {
+		a.validFree = append(a.validFree, e.NextValid[:0])
+	}
+}
+
+// takeState returns a recycled state vector or allocates one while the
+// freelist warms up.
+func (a *Agent) takeState() []float64 {
+	if k := len(a.stateFree); k > 0 {
+		s := a.stateFree[k-1]
+		a.stateFree = a.stateFree[:k-1]
+		return s
+	}
+	return make([]float64, a.Spec.InputSize())
+}
+
+// takeValid returns a recycled NextValid slice of length n. Fresh slices are
+// allocated with the full action-size capacity so any later reuse fits.
+func (a *Agent) takeValid(n int) []int {
+	if k := len(a.validFree); k > 0 {
+		v := a.validFree[k-1]
+		a.validFree = a.validFree[:k-1]
+		if cap(v) >= n {
+			return v[:n]
+		}
+	}
+	return make([]int, n, a.Spec.ActionSize())
 }
 
 // Epsilon returns the current exploration rate under the decay schedule.
@@ -126,8 +175,9 @@ func NewAgentWithNet(spec *StateSpec, net *nn.MLP, seed int64) *Agent {
 		DQL:     rl.NewDQL(net, rl.DQLConfig{}),
 		Reward:  rl.NewRewardTracker(rl.RewardGlobalAge),
 		rng:     rand.New(rand.NewSource(seed)),
-		pending: make(map[int64]*pendingDecision),
+		pending: make(map[int64]pendingDecision),
 	}
+	a.DQL.Replay.OnEvict = a.recycleExperience
 	return a
 }
 
@@ -163,7 +213,19 @@ func siteKey(ctx *noc.ArbContext) int64 {
 // remaining candidates.
 func (a *Agent) Select(ctx *noc.ArbContext, cands []noc.Candidate) int {
 	a.decisions++
-	state := a.Spec.BuildState(ctx.Net, ctx.Cycle, cands)
+	var state []float64
+	if a.Training {
+		// Training retains states in experiences; draw from the freelist
+		// fed by replay-ring evictions.
+		state = a.takeState()
+	} else {
+		// Inference never retains the state: one reusable buffer suffices.
+		if a.evalState == nil {
+			a.evalState = make([]float64, a.Spec.InputSize())
+		}
+		state = a.evalState
+	}
+	a.Spec.BuildStateInto(state, ctx.Net, ctx.Cycle, cands)
 
 	// Algorithm 1 line 10: with probability epsilon the router selects a
 	// random candidate. The paper keeps this in the deployed decision
@@ -185,8 +247,8 @@ func (a *Agent) Select(ctx *noc.ArbContext, cands []noc.Candidate) int {
 
 	if a.Training {
 		key := siteKey(ctx)
-		if prev := a.pending[key]; prev != nil {
-			valid := make([]int, len(cands))
+		if prev, ok := a.pending[key]; ok {
+			valid := a.takeValid(len(cands))
 			for i, c := range cands {
 				valid[i] = a.Spec.Slot(c.Port, c.VC)
 			}
@@ -198,7 +260,7 @@ func (a *Agent) Select(ctx *noc.ArbContext, cands []noc.Candidate) int {
 				NextValid: valid,
 			})
 		}
-		a.pending[key] = &pendingDecision{
+		a.pending[key] = pendingDecision{
 			state:  state,
 			action: a.Spec.Slot(cands[choice].Port, cands[choice].VC),
 			reward: a.Reward.DecisionReward(ctx, cands, choice),

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlnoc/internal/noc"
+	"mlnoc/internal/rl"
+	"mlnoc/internal/traffic"
+)
+
+// benchTrainLoop replicates the TrainMesh inner loop at quick scale (4x4
+// mesh, 3 VCs, batch 32, one training batch per cycle) without the epoch
+// reporting wrapper, so a benchmark iteration is exactly one training cycle.
+func benchTrainLoop(seed int64) (*noc.Network, *traffic.Injector) {
+	cfg := MeshTrainConfig{Seed: seed}
+	cfg.applyDefaults()
+	spec := NewStateSpec(
+		[]noc.PortID{noc.PortCore, noc.PortNorth, noc.PortSouth, noc.PortWest, noc.PortEast},
+		cfg.VCs, cfg.Features, DefaultNorm())
+	agent := NewAgent(spec, AgentConfig{
+		DQL:            rl.DQLConfig{BatchSize: 32, LR: 0.05, Gamma: 0.5, ReplayCap: 16000, SyncEvery: 2000},
+		EpsStart:       0.5,
+		EpsDecayCycles: 10000,
+		Seed:           seed,
+	})
+	net, in := newMeshRun(cfg, agent)
+	net.OnCycle = agent.OnCycle
+	return net, in
+}
+
+func BenchmarkHotTrainingLoop(b *testing.B) {
+	net, in := benchTrainLoop(3)
+	for i := 0; i < 3000; i++ {
+		in.Tick()
+		net.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Tick()
+		net.Step()
+	}
+}
+
+// benchSelectSite builds a training agent plus a standing three-way
+// arbitration at one (router, output) site, exercising the full Select path:
+// state build, Q-inference, pending-decision bookkeeping and replay writes.
+func benchSelectSite() (*Agent, *noc.ArbContext, []noc.Candidate) {
+	spec := MeshSpec(3)
+	agent := NewAgent(spec, AgentConfig{
+		DQL:  rl.DQLConfig{ReplayCap: 256, BatchSize: 2},
+		Seed: 5,
+	})
+	net, cores := noc.BuildMeshCores(noc.Config{Width: 4, Height: 4, VCs: 3, BufferCap: 2})
+	mk := func(id uint64, src, dst int) *noc.Message {
+		return &noc.Message{
+			ID: id, Src: cores[src].ID, Dst: cores[dst].ID,
+			SizeFlits: 1, GenCycle: 1, InjectCycle: 2,
+			Distance: 3, HopCount: 1, ArrivalCycle: 50, ArrivalGap: 4,
+		}
+	}
+	cands := []noc.Candidate{
+		{Port: noc.PortWest, VC: 0, Msg: mk(1, 4, 3)},
+		{Port: noc.PortEast, VC: 1, Msg: mk(2, 6, 0)},
+		{Port: noc.PortCore, VC: 2, Msg: mk(3, 5, 12)},
+	}
+	ctx := &noc.ArbContext{Net: net, Router: net.RouterAt(1, 1), Out: noc.PortNorth, Cycle: 100}
+	return agent, ctx, cands
+}
+
+func BenchmarkHotAgentSelect(b *testing.B) {
+	agent, ctx, cands := benchSelectSite()
+	for i := 0; i < 1024; i++ {
+		agent.Select(ctx, cands)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Select(ctx, cands)
+	}
+}
+
+// TestAgentSelectZeroAllocs pins the tentpole contract: once the replay ring
+// is full and evictions feed the freelists, a training-mode Select performs no
+// heap allocations.
+func TestAgentSelectZeroAllocs(t *testing.T) {
+	agent, ctx, cands := benchSelectSite()
+	// ReplayCap is 256; 1024 decisions guarantee the ring wrapped and the
+	// state/valid freelists are warm.
+	for i := 0; i < 1024; i++ {
+		agent.Select(ctx, cands)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		agent.Select(ctx, cands)
+	})
+	if allocs != 0 {
+		t.Fatalf("Select allocates %v objects per decision, want 0", allocs)
+	}
+}
+
+// TestStateRecyclingNoAliasing drives a small-ring training agent long enough
+// for heavy slice recycling, then checks the freelist safety invariant: no two
+// live experiences share a State buffer, and nothing on the freelists aliases
+// a live State, Next or pending-decision state. A violation here would mean a
+// recycled vector is being overwritten while a replay tuple still reads it.
+func TestStateRecyclingNoAliasing(t *testing.T) {
+	spec := MeshSpec(3)
+	agent := NewAgent(spec, AgentConfig{
+		DQL:  rl.DQLConfig{ReplayCap: 64, BatchSize: 4, SyncEvery: 50, LR: 0.05, Gamma: 0.5},
+		Seed: 8,
+	})
+	net, cores := noc.BuildMeshCores(noc.Config{Width: 4, Height: 4, VCs: 3, BufferCap: 2})
+	net.SetPolicy(agent)
+	in := traffic.NewInjector(cores, traffic.UniformRandom{}, 0.35, rand.New(rand.NewSource(12)))
+	in.Classes = 3
+	net.OnCycle = agent.OnCycle
+	evictions := 0
+	recycle := agent.DQL.Replay.OnEvict
+	agent.DQL.Replay.OnEvict = func(e *rl.Experience) {
+		evictions++
+		recycle(e)
+	}
+	for i := 0; i < 3000; i++ {
+		in.Tick()
+		net.Step()
+	}
+
+	// An experience's Next legitimately aliases a younger experience's State
+	// (that is the s' = next s chaining), so only State-vs-State duplication
+	// is a bug; the freelist must alias none of them.
+	states := map[*float64]int{}
+	live := map[*float64]bool{}
+	r := agent.DQL.Replay
+	for i := 0; i < r.Len(); i++ {
+		e := r.At(i)
+		if j, dup := states[&e.State[0]]; dup {
+			t.Fatalf("experiences %d and %d share one State buffer", j, i)
+		}
+		states[&e.State[0]] = i
+		live[&e.State[0]] = true
+		if len(e.Next) > 0 {
+			live[&e.Next[0]] = true
+		}
+	}
+	for _, p := range agent.pending {
+		live[&p.state[0]] = true
+	}
+	for i, s := range agent.stateFree {
+		if live[&s[0]] {
+			t.Fatalf("freelist entry %d aliases a live state buffer", i)
+		}
+	}
+	if evictions == 0 {
+		t.Fatal("run too short: replay ring never evicted, invariant untested")
+	}
+}

@@ -83,11 +83,21 @@ func (s *StateSpec) SlotPort(slot int) (noc.PortID, int) {
 // every candidate message, placed at its buffer's block, all other elements
 // zero. The result is freshly allocated (experiences retain state slices).
 func (s *StateSpec) BuildState(net *noc.Network, now int64, cands []noc.Candidate) []float64 {
-	state := make([]float64, s.InputSize())
+	return s.BuildStateInto(make([]float64, s.InputSize()), net, now, cands)
+}
+
+// BuildStateInto assembles the state vector into dst, which must have length
+// InputSize, and returns it. dst is zeroed first, so a recycled state vector
+// carries nothing over from its previous life. The hot-path variant of
+// BuildState: no allocation.
+func (s *StateSpec) BuildStateInto(dst []float64, net *noc.Network, now int64, cands []noc.Candidate) []float64 {
+	for i := range dst {
+		dst[i] = 0
+	}
 	fw := s.Features.Width()
 	for _, c := range cands {
 		slot := s.Slot(c.Port, c.VC)
-		s.Features.Extract(state[slot*fw:(slot+1)*fw], &s.Norm, net, now, c.Msg)
+		s.Features.Extract(dst[slot*fw:(slot+1)*fw], &s.Norm, net, now, c.Msg)
 	}
-	return state
+	return dst
 }

@@ -111,6 +111,16 @@ type MLP struct {
 	// scratch: acts[0] is the input copy, acts[l+1] the output of layer l.
 	acts   [][]float64
 	deltas [][]float64
+	// grad is the output-gradient scratch for TrainMSE/TrainAction; it is
+	// all-zero between calls so TrainAction only touches one element.
+	grad []float64
+	// maxWidth is the widest activation plane (input or any layer output),
+	// sizing the batched-inference scratch below.
+	maxWidth int
+	// bacts are the two ping-pong row-major activation planes of
+	// ForwardBatch (nb x width each); brows holds the returned row headers.
+	bacts [2][]float64
+	brows [][]float64
 }
 
 // New constructs an MLP with the given layer sizes (len >= 2) and one
@@ -150,10 +160,15 @@ func (m *MLP) allocScratch() {
 	m.acts = make([][]float64, len(m.Layers)+1)
 	m.deltas = make([][]float64, len(m.Layers))
 	m.acts[0] = make([]float64, m.Layers[0].In)
+	m.maxWidth = m.Layers[0].In
 	for l, layer := range m.Layers {
 		m.acts[l+1] = make([]float64, layer.Out)
 		m.deltas[l] = make([]float64, layer.Out)
+		if layer.Out > m.maxWidth {
+			m.maxWidth = layer.Out
+		}
 	}
+	m.grad = make([]float64, m.OutputSize())
 }
 
 // InputSize returns the width of the input layer.
@@ -182,6 +197,7 @@ func (m *MLP) Forward(x []float64) []float64 {
 		in, out := m.acts[l], m.acts[l+1]
 		for j := 0; j < layer.Out; j++ {
 			row := layer.W[j*layer.In : (j+1)*layer.In]
+			in := in[:len(row)] // one bounds check; elides them in the loop
 			z := layer.B[j]
 			for i, w := range row {
 				z += w * in[i]
@@ -192,25 +208,105 @@ func (m *MLP) Forward(x []float64) []float64 {
 	return m.acts[len(m.Layers)]
 }
 
+// ForwardBatch runs inference on a batch of inputs and returns one Q-row per
+// input. Each row is computed with exactly Forward's per-row summation order
+// (bias first, then weights in input order), so a batched evaluation is
+// bit-identical to len(xs) sequential Forward calls; the weight row of each
+// neuron is loaded once and reused across the whole batch. The returned rows
+// alias internal scratch, valid until the next ForwardBatch call; Forward and
+// the training methods use separate scratch and do not invalidate them.
+func (m *MLP) ForwardBatch(xs [][]float64) [][]float64 {
+	nb := len(xs)
+	if nb == 0 {
+		return nil
+	}
+	if need := nb * m.maxWidth; cap(m.bacts[0]) < need {
+		m.bacts[0] = make([]float64, need)
+		m.bacts[1] = make([]float64, need)
+	}
+	in0 := m.Layers[0].In
+	cur := m.bacts[0][:nb*in0]
+	for b, x := range xs {
+		if len(x) != in0 {
+			panic(fmt.Sprintf("nn: input size %d, want %d", len(x), in0))
+		}
+		copy(cur[b*in0:(b+1)*in0], x)
+	}
+	src := 0
+	for _, layer := range m.Layers {
+		in, out := layer.In, layer.Out
+		prev := m.bacts[src][:nb*in]
+		next := m.bacts[1-src][:nb*out]
+		act := layer.Act
+		for j := 0; j < out; j++ {
+			row := layer.W[j*in : (j+1)*in]
+			bj := layer.B[j]
+			for b := 0; b < nb; b++ {
+				x := prev[b*in : (b+1)*in]
+				x = x[:len(row)] // one bounds check; elides them in the loop
+				z := bj
+				for i, w := range row {
+					z += w * x[i]
+				}
+				next[b*out+j] = act.apply(z)
+			}
+		}
+		src = 1 - src
+	}
+	outW := m.OutputSize()
+	if cap(m.brows) < nb {
+		m.brows = make([][]float64, nb)
+	}
+	rows := m.brows[:nb]
+	flat := m.bacts[src]
+	for b := range rows {
+		rows[b] = flat[b*outW : (b+1)*outW : (b+1)*outW]
+	}
+	return rows
+}
+
 // Backprop performs one SGD step given dLoss/dOutput evaluated at the current
 // forward pass of x. It recomputes the forward pass internally.
 func (m *MLP) Backprop(x, outGrad []float64, lr float64) {
-	y := m.Forward(x)
+	m.Forward(x)
+	m.backpropFromActs(outGrad, lr)
+}
+
+// backpropFromActs applies one SGD step using the activations left in m.acts
+// by the immediately preceding Forward call, avoiding a duplicate forward
+// pass. Callers must not have mutated weights since that Forward.
+func (m *MLP) backpropFromActs(outGrad []float64, lr float64) {
+	y := m.acts[len(m.Layers)]
 	last := len(m.Layers) - 1
 	outLayer := m.Layers[last]
 	for j := range m.deltas[last] {
 		m.deltas[last][j] = outGrad[j] * outLayer.Act.derivFromOutput(y[j])
 	}
-	// Propagate deltas backwards.
+	// Propagate deltas backwards. The accumulation runs k-outer over the
+	// next layer's neurons: each delta[j] still sums its terms in ascending
+	// k order — bit-identical to the j-outer formulation — but zero deltas
+	// (all but one output under Q-learning's single-action gradient) skip
+	// their entire weight row, and the rows are walked contiguously.
 	for l := last - 1; l >= 0; l-- {
 		layer, next := m.Layers[l], m.Layers[l+1]
 		outs := m.acts[l+1]
-		for j := 0; j < layer.Out; j++ {
-			var sum float64
-			for k := 0; k < next.Out; k++ {
-				sum += next.W[k*next.In+j] * m.deltas[l+1][k]
+		dl := m.deltas[l][:layer.Out]
+		for j := range dl {
+			dl[j] = 0
+		}
+		for k := 0; k < next.Out; k++ {
+			d := m.deltas[l+1][k]
+			if d == 0 {
+				continue
 			}
-			m.deltas[l][j] = sum * layer.Act.derivFromOutput(outs[j])
+			row := next.W[k*next.In : (k+1)*next.In]
+			dl := dl[:len(row)]
+			for j, w := range row {
+				dl[j] += w * d
+			}
+		}
+		for j := range dl {
+			dl[j] *= layer.Act.derivFromOutput(outs[j])
 		}
 	}
 	// Apply gradients.
@@ -238,14 +334,17 @@ func (m *MLP) TrainMSE(x, target []float64, lr float64) float64 {
 	if len(target) != len(y) {
 		panic("nn: target size mismatch")
 	}
-	grad := make([]float64, len(y))
+	grad := m.grad
 	loss := 0.0
 	for j := range y {
 		e := y[j] - target[j]
 		grad[j] = e
 		loss += 0.5 * e * e
 	}
-	m.Backprop(x, grad, lr)
+	m.backpropFromActs(grad, lr)
+	for j := range grad {
+		grad[j] = 0
+	}
 	return loss
 }
 
@@ -258,9 +357,10 @@ func (m *MLP) TrainAction(x []float64, action int, target, lr float64) float64 {
 		panic(fmt.Sprintf("nn: action %d out of range %d", action, len(y)))
 	}
 	e := y[action] - target
-	grad := make([]float64, len(y))
+	grad := m.grad
 	grad[action] = e
-	m.Backprop(x, grad, lr)
+	m.backpropFromActs(grad, lr)
+	grad[action] = 0
 	return e * e
 }
 

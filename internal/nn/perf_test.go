@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// apuNet builds the paper's 504->42->42 APU Q-network shape (Section 4.6),
+// the largest MLP on the simulate/train hot path.
+func apuNet() *MLP {
+	return New([]int{504, 42, 42}, []Activation{Sigmoid, LeakyReLU},
+		rand.New(rand.NewSource(11)))
+}
+
+func randVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	return v
+}
+
+func BenchmarkHotMLPForward(b *testing.B) {
+	m := apuNet()
+	x := randVec(m.InputSize(), 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x)
+	}
+}
+
+func BenchmarkHotTrainAction(b *testing.B) {
+	m := apuNet()
+	x := randVec(m.InputSize(), 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TrainAction(x, i%m.OutputSize(), 0.5, 0.001)
+	}
+}
+
+func BenchmarkHotMLPForwardBatch32(b *testing.B) {
+	m := apuNet()
+	xs := make([][]float64, 32)
+	for i := range xs {
+		xs[i] = randVec(m.InputSize(), int64(20+i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ForwardBatch(xs)
+	}
+}
+
+// TestForwardBatchMatchesForward pins ForwardBatch's bit-identity contract:
+// every row equals the corresponding sequential Forward call exactly,
+// including a ragged batch size and a second call that reuses warm scratch.
+func TestForwardBatchMatchesForward(t *testing.T) {
+	m := New([]int{60, 15, 15}, []Activation{Sigmoid, LeakyReLU},
+		rand.New(rand.NewSource(4)))
+	for _, nb := range []int{1, 3, 32, 7} {
+		xs := make([][]float64, nb)
+		for i := range xs {
+			xs[i] = randVec(m.InputSize(), int64(100*nb+i))
+		}
+		rows := m.ForwardBatch(xs)
+		if len(rows) != nb {
+			t.Fatalf("batch %d: got %d rows", nb, len(rows))
+		}
+		for b, x := range xs {
+			want := m.Forward(x) // separate scratch; does not invalidate rows
+			for j := range want {
+				if rows[b][j] != want[j] {
+					t.Fatalf("batch %d row %d out %d: ForwardBatch %v != Forward %v",
+						nb, b, j, rows[b][j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestForwardZeroAllocs(t *testing.T) {
+	m := apuNet()
+	x := randVec(m.InputSize(), 7)
+	if allocs := testing.AllocsPerRun(100, func() { m.Forward(x) }); allocs != 0 {
+		t.Fatalf("Forward allocates %v objects per call, want 0", allocs)
+	}
+}
+
+func TestForwardBatchZeroAllocs(t *testing.T) {
+	m := apuNet()
+	xs := make([][]float64, 32)
+	for i := range xs {
+		xs[i] = randVec(m.InputSize(), int64(i))
+	}
+	m.ForwardBatch(xs) // warm the batch scratch
+	if allocs := testing.AllocsPerRun(100, func() { m.ForwardBatch(xs) }); allocs != 0 {
+		t.Fatalf("ForwardBatch allocates %v objects per call, want 0", allocs)
+	}
+}
+
+func TestTrainActionZeroAllocs(t *testing.T) {
+	m := apuNet()
+	x := randVec(m.InputSize(), 7)
+	if allocs := testing.AllocsPerRun(100, func() {
+		m.TrainAction(x, 3, 0.5, 0.001)
+	}); allocs != 0 {
+		t.Fatalf("TrainAction allocates %v objects per call, want 0", allocs)
+	}
+}

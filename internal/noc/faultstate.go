@@ -172,6 +172,9 @@ func (n *Network) RequeueStranded(strand func(r *Router, p PortID, m *Message) b
 					buf.q[i] = nil
 				}
 				buf.q = kept
+				// The queue was rewritten in place, bypassing push/pop:
+				// re-derive the occupancy bit.
+				buf.syncOcc()
 			}
 		}
 	}
@@ -225,6 +228,7 @@ func (n *Network) evictUnreachable(r *Router) {
 				if len(n.faultObs) > 0 {
 					n.observeUnreachable(r, m)
 				}
+				n.recycleMessage(m)
 			}
 		}
 	}

@@ -124,6 +124,10 @@ type Message struct {
 	// implementation (e.g. the up*/down* phase bit of the fault-aware
 	// router); the engine itself never reads or writes it.
 	RouteBits uint8
+
+	// pooled marks messages obtained from Network.AllocMessage; the engine
+	// returns them to the freelist after delivery or eviction.
+	pooled bool
 }
 
 // GlobalAge returns the number of cycles since the message entered the

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"mlnoc/internal/stats"
 )
@@ -129,6 +130,31 @@ type Network struct {
 	// scratch buffers reused across cycles
 	candScratch []Candidate
 	reqScratch  []Request
+
+	// arbCtx/matchCtx are the per-cycle contexts handed to policies. They
+	// live on the Network so the interface call does not force a heap
+	// allocation every Step.
+	arbCtx   ArbContext
+	matchCtx MatchContext
+
+	// occTrack enables the per-router occupancy bitmask (requires
+	// MaxPorts*VCs <= 64); arbitration then visits only non-empty buffers.
+	occTrack bool
+
+	// routeMemo caches the X-Y output port per (router, destination node),
+	// indexed router.id*len(nodes)+dst. X-Y routing is a pure function of
+	// that pair, so buffered messages never need their route recomputed.
+	// Only consulted while no Routing is installed; rebuilt when the node
+	// count changes.
+	routeMemo []PortID
+
+	// outHeads accumulates per-output candidate lists during the fused
+	// single-scan arbitration; candArena backs matcher Request slices.
+	outHeads  [MaxPorts][]Candidate
+	candArena []Candidate
+
+	// msgFree recycles delivered/evicted pooled messages (AllocMessage).
+	msgFree []*Message
 }
 
 // New creates an empty W x H mesh with no nodes attached. Use AttachNode (or
@@ -142,6 +168,7 @@ func New(cfg Config) *Network {
 		cfg:         cfg,
 		wheel:       make([][]delivery, cfg.MaxFlits+2),
 		busyRelease: make([]int, cfg.MaxFlits+2),
+		occTrack:    MaxPorts*cfg.VCs <= 64,
 	}
 	n.routers = make([]*Router, cfg.Width*cfg.Height)
 	for y := 0; y < cfg.Height; y++ {
@@ -178,6 +205,10 @@ func (n *Network) allocPortBuffers(r *Router, p PortID) {
 	bufs := make([]*Buffer, n.cfg.VCs)
 	for vc := range bufs {
 		bufs[vc] = &Buffer{cap: n.cfg.BufferCap, lastArr: -1}
+		if n.occTrack {
+			bufs[vc].owner = r
+			bufs[vc].bit = uint8(int(p)*n.cfg.VCs + vc)
+		}
 	}
 	r.in[p] = bufs
 	r.nPorts++
@@ -301,6 +332,61 @@ func (n *Network) TakeDeliveryWindow() (sum int64, count int64) {
 // 6.3 "link utilization" reward).
 func (n *Network) LinkUtilization() float64 { return n.lastUtil }
 
+// AllocMessage returns a zeroed Message, reusing one the engine recycled
+// after delivery or eviction when possible. Messages from this pool are
+// returned to it as soon as they are delivered (after the destination node's
+// Sink and the observers ran) — callers and sinks must not retain the
+// pointer past that point. Traffic generators and protocol layers use this
+// to make steady-state injection allocation-free.
+func (n *Network) AllocMessage() *Message {
+	if k := len(n.msgFree); k > 0 {
+		m := n.msgFree[k-1]
+		n.msgFree = n.msgFree[:k-1]
+		*m = Message{pooled: true}
+		return m
+	}
+	return &Message{pooled: true}
+}
+
+// recycleMessage returns a pooled message to the freelist. Messages built
+// with plain &Message{} literals are left alone: the engine cannot know who
+// still references them.
+func (n *Network) recycleMessage(m *Message) {
+	if m.pooled {
+		n.msgFree = append(n.msgFree, m)
+	}
+}
+
+// routeMemoUnset marks an uncomputed routeMemo entry. It must differ from
+// every real PortID and from RouteUnreachable.
+const routeMemoUnset PortID = -2
+
+// ensureRouteMemo sizes the X-Y route memo for the current router and node
+// counts, invalidating it when nodes were attached since the last build.
+func (n *Network) ensureRouteMemo() {
+	want := len(n.routers) * len(n.nodes)
+	if len(n.routeMemo) == want {
+		return
+	}
+	n.routeMemo = make([]PortID, want)
+	for i := range n.routeMemo {
+		n.routeMemo[i] = routeMemoUnset
+	}
+}
+
+// xyRouteMemo returns XYPort(m) at r through the (router, destination) memo.
+// Callers must have called ensureRouteMemo and must only use it while no
+// Routing override is installed.
+func (n *Network) xyRouteMemo(r *Router, m *Message) PortID {
+	idx := r.id*len(n.nodes) + int(m.Dst)
+	if out := n.routeMemo[idx]; out != routeMemoUnset {
+		return out
+	}
+	out := r.XYPort(m)
+	n.routeMemo[idx] = out
+	return out
+}
+
 // Step advances the simulation by one cycle: deliveries scheduled for this
 // cycle land, nodes inject, every router arbitrates its free output ports,
 // and OnCycle runs.
@@ -406,6 +492,7 @@ func (n *Network) deliver() {
 		if len(n.observers) > 0 {
 			n.observeDeliver(d.node, m)
 		}
+		n.recycleMessage(m)
 	}
 }
 
@@ -449,8 +536,36 @@ func (n *Network) inject() {
 // of router r: head messages routed to out, whose input port has not already
 // forwarded a message this cycle, and whose downstream buffer (for hops) has
 // space. The result is valid until the next gather call.
+//
+// With occupancy tracking on, the walk visits only non-empty buffers by
+// iterating r.occ's set bits; bit order is (port, VC) ascending, so the
+// candidate order — and the sequence of Route calls, which fault-aware
+// Routing implementations are sensitive to — matches the full scan exactly.
 func (n *Network) gatherCandidates(r *Router, out PortID) []Candidate {
 	cands := n.candScratch[:0]
+	if n.occTrack {
+		vcs := n.cfg.VCs
+		for mask := r.occ; mask != 0; mask &= mask - 1 {
+			bit := bits.TrailingZeros64(mask)
+			p := PortID(bit / vcs)
+			if r.inGrantedAt[p] == n.cycle {
+				continue
+			}
+			vc := bit - int(p)*vcs
+			m := r.in[p][vc].q[0]
+			if r.Route(m) != out {
+				continue
+			}
+			if next := r.peerRouter[out]; next != nil {
+				if !next.in[out.Opposite()][vc].Free() {
+					continue
+				}
+			}
+			cands = append(cands, Candidate{Port: p, VC: vc, Msg: m})
+		}
+		n.candScratch = cands
+		return cands
+	}
 	for p := PortID(0); p < MaxPorts; p++ {
 		if r.in[p] == nil || r.inGrantedAt[p] == n.cycle {
 			continue
@@ -515,7 +630,9 @@ func (n *Network) arbitrate() {
 		n.arbitrateMatched()
 		return
 	}
-	ctx := ArbContext{Net: n, Cycle: n.cycle}
+	fast := n.fusedScanOK()
+	ctx := &n.arbCtx
+	*ctx = ArbContext{Net: n, Cycle: n.cycle}
 	for _, r := range n.routers {
 		if n.faulty {
 			if r.frozen {
@@ -524,6 +641,10 @@ func (n *Network) arbitrate() {
 			n.evictUnreachable(r)
 		}
 		ctx.Router = r
+		if fast {
+			n.arbitrateRouterFused(ctx, r)
+			continue
+		}
 		for out := PortID(0); out < MaxPorts; out++ {
 			if !r.HasPort(out) || r.linkDown[out] || r.OutputBusy(out, n.cycle) {
 				continue
@@ -533,27 +654,122 @@ func (n *Network) arbitrate() {
 				continue
 			}
 			ctx.Out = out
-			choice := 0
-			if len(cands) > 1 {
-				choice = n.policy.Select(&ctx, cands)
-				if choice < 0 || choice >= len(cands) {
-					panic(fmt.Sprintf("noc: policy %s returned choice %d of %d candidates",
-						n.policy.Name(), choice, len(cands)))
-				}
-			}
-			if n.grantOb != nil {
-				n.grantOb.ObserveGrant(&ctx, cands, choice)
-			}
-			if len(n.arbObs) > 0 && len(cands) > 1 {
-				n.observeArb(r, out, cands, choice)
-			}
-			n.applyGrant(r, out, cands[choice])
+			n.selectAndGrant(ctx, r, out, cands)
 		}
 	}
 }
 
+// fusedScanOK reports whether arbitration may use the fused single-scan path:
+// it routes through the X-Y memo with one route lookup per buffered head, so
+// it is only sound while routing is the built-in pure X-Y function (an
+// installed Routing may be stateful — the fault-aware router mutates
+// Message.RouteBits — and must see the per-output probe sequence the legacy
+// gather produces).
+func (n *Network) fusedScanOK() bool {
+	if n.routing != nil || !n.occTrack {
+		return false
+	}
+	n.ensureRouteMemo()
+	return true
+}
+
+func (n *Network) selectAndGrant(ctx *ArbContext, r *Router, out PortID, cands []Candidate) {
+	choice := 0
+	if len(cands) > 1 {
+		choice = n.policy.Select(ctx, cands)
+		if choice < 0 || choice >= len(cands) {
+			panic(fmt.Sprintf("noc: policy %s returned choice %d of %d candidates",
+				n.policy.Name(), choice, len(cands)))
+		}
+	}
+	if n.grantOb != nil {
+		n.grantOb.ObserveGrant(ctx, cands, choice)
+	}
+	if len(n.arbObs) > 0 && len(cands) > 1 {
+		n.observeArb(r, out, cands, choice)
+	}
+	n.applyGrant(r, out, cands[choice])
+}
+
+// scanHeads makes one pass over r's occupancy bitmask, bucketing every
+// buffered head whose (memoized X-Y) output is grantable this cycle and
+// whose downstream buffer has space into n.outHeads[out]. It returns the
+// bitmask of outputs that received at least one candidate. Head order within
+// each output is (port, VC) ascending — identical to gatherCandidates.
+func (n *Network) scanHeads(r *Router) (filled uint32) {
+	var freeOuts uint32
+	for out := PortID(0); out < MaxPorts; out++ {
+		if r.HasPort(out) && !r.linkDown[out] && !r.OutputBusy(out, n.cycle) {
+			freeOuts |= 1 << out
+		}
+	}
+	if freeOuts == 0 {
+		return 0
+	}
+	vcs := n.cfg.VCs
+	for mask := r.occ; mask != 0; mask &= mask - 1 {
+		bit := bits.TrailingZeros64(mask)
+		p := PortID(bit / vcs)
+		vc := bit - int(p)*vcs
+		m := r.in[p][vc].q[0]
+		out := n.xyRouteMemo(r, m)
+		if freeOuts&(1<<out) == 0 {
+			continue
+		}
+		if next := r.peerRouter[out]; next != nil && !next.in[out.Opposite()][vc].Free() {
+			continue
+		}
+		if filled&(1<<out) == 0 {
+			filled |= 1 << out
+			n.outHeads[out] = n.outHeads[out][:0]
+		}
+		n.outHeads[out] = append(n.outHeads[out], Candidate{Port: p, VC: vc, Msg: m})
+	}
+	return filled
+}
+
+// arbitrateRouterFused arbitrates all outputs of r from one occupancy-mask
+// scan instead of one gather per output. Grants are applied per output in
+// ascending order, filtering out candidates whose input port was granted by
+// an earlier output of the same router this cycle — the exact exclusion the
+// sequential gather applies, so policies see identical candidate lists. The
+// downstream-space check does not move: within a router's turn only its own
+// grants could change it, and each output is granted at most once.
+func (n *Network) arbitrateRouterFused(ctx *ArbContext, r *Router) {
+	if r.occ == 0 {
+		return
+	}
+	filled := n.scanHeads(r)
+	for out := PortID(0); out < MaxPorts; out++ {
+		if filled&(1<<out) == 0 {
+			continue
+		}
+		cands := n.candScratch[:0]
+		for _, c := range n.outHeads[out] {
+			if r.inGrantedAt[c.Port] == n.cycle {
+				continue
+			}
+			cands = append(cands, c)
+		}
+		n.candScratch = cands
+		if len(cands) == 0 {
+			continue
+		}
+		ctx.Out = out
+		n.selectAndGrant(ctx, r, out, cands)
+	}
+}
+
 func (n *Network) arbitrateMatched() {
-	mctx := MatchContext{Net: n, Cycle: n.cycle}
+	fast := n.fusedScanOK()
+	if cap(n.candArena) < MaxPorts*n.cfg.VCs {
+		// Each head routes to exactly one output, so a router's requests
+		// hold at most one candidate per (port, VC) buffer: the arena never
+		// regrows in the fused path and rarely overflows in the legacy one.
+		n.candArena = make([]Candidate, 0, MaxPorts*n.cfg.VCs)
+	}
+	mctx := &n.matchCtx
+	*mctx = MatchContext{Net: n, Cycle: n.cycle}
 	for _, r := range n.routers {
 		if n.faulty {
 			if r.frozen {
@@ -561,26 +777,52 @@ func (n *Network) arbitrateMatched() {
 			}
 			n.evictUnreachable(r)
 		}
+		arena := n.candArena[:0]
 		reqs := n.reqScratch[:0]
-		for out := PortID(0); out < MaxPorts; out++ {
-			if !r.HasPort(out) || r.linkDown[out] || r.OutputBusy(out, n.cycle) {
-				continue
+		if fast {
+			filled := uint32(0)
+			if r.occ != 0 {
+				filled = n.scanHeads(r)
 			}
-			cands := n.gatherCandidates(r, out)
-			if len(cands) == 0 {
-				continue
+			for out := PortID(0); out < MaxPorts; out++ {
+				if filled&(1<<out) == 0 {
+					continue
+				}
+				start := len(arena)
+				arena = append(arena, n.outHeads[out]...)
+				reqs = append(reqs, Request{Out: out, Cands: arena[start:len(arena):len(arena)]})
 			}
-			// Candidates must outlive the next gather call.
-			own := make([]Candidate, len(cands))
-			copy(own, cands)
-			reqs = append(reqs, Request{Out: out, Cands: own})
+		} else {
+			for out := PortID(0); out < MaxPorts; out++ {
+				if !r.HasPort(out) || r.linkDown[out] || r.OutputBusy(out, n.cycle) {
+					continue
+				}
+				cands := n.gatherCandidates(r, out)
+				if len(cands) == 0 {
+					continue
+				}
+				// Candidates must outlive the next gather call: park them in
+				// the arena (appending must never reallocate, or earlier
+				// requests' slices would go stale — fall back to a fresh
+				// slice in the overflow case instead).
+				var own []Candidate
+				if len(arena)+len(cands) <= cap(arena) {
+					start := len(arena)
+					arena = append(arena, cands...)
+					own = arena[start:len(arena):len(arena)]
+				} else {
+					own = make([]Candidate, len(cands))
+					copy(own, cands)
+				}
+				reqs = append(reqs, Request{Out: out, Cands: own})
+			}
 		}
 		n.reqScratch = reqs[:0]
 		if len(reqs) == 0 {
 			continue
 		}
 		mctx.Router = r
-		grants := n.matcher.Match(&mctx, reqs)
+		grants := n.matcher.Match(mctx, reqs)
 		if len(grants) != len(reqs) {
 			panic(fmt.Sprintf("noc: matcher %s returned %d grants for %d requests",
 				n.policy.Name(), len(grants), len(reqs)))

@@ -1,0 +1,56 @@
+package noc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlnoc/internal/arb"
+	"mlnoc/internal/noc"
+	"mlnoc/internal/traffic"
+)
+
+// benchMesh builds a loaded 8x8 mesh under uniform-random traffic with the
+// global-age arbiter — the steady-state Step workload of the Fig. 5 sweeps.
+func benchMesh() (*noc.Network, *traffic.Injector) {
+	net, cores := noc.BuildMeshCores(noc.Config{Width: 8, Height: 8, VCs: 3, BufferCap: 4})
+	net.SetPolicy(arb.NewGlobalAge())
+	in := traffic.NewInjector(cores, traffic.UniformRandom{}, 0.3, rand.New(rand.NewSource(17)))
+	in.Classes = 3
+	return net, in
+}
+
+// TestNetworkStepZeroAllocs pins the tentpole contract: once warm (scratch
+// grown, message freelist populated, delivery wheel sized), a simulation cycle
+// performs no heap allocations. The rate is kept below saturation so injection
+// queues and the in-flight population are stable.
+func TestNetworkStepZeroAllocs(t *testing.T) {
+	net, cores := noc.BuildMeshCores(noc.Config{Width: 8, Height: 8, VCs: 3, BufferCap: 4})
+	net.SetPolicy(arb.NewGlobalAge())
+	in := traffic.NewInjector(cores, traffic.UniformRandom{}, 0.1, rand.New(rand.NewSource(17)))
+	in.Classes = 3
+	for i := 0; i < 4000; i++ {
+		in.Tick()
+		net.Step()
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		in.Tick()
+		net.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Tick+Step allocates %v objects per cycle, want 0", allocs)
+	}
+}
+
+func BenchmarkHotNetworkStep(b *testing.B) {
+	net, in := benchMesh()
+	for i := 0; i < 3000; i++ {
+		in.Tick()
+		net.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Tick()
+		net.Step()
+	}
+}

@@ -8,6 +8,12 @@ type Buffer struct {
 	reserved int   // slots reserved by in-flight granted messages
 	lastArr  int64 // cycle of the most recent arrival, -1 if none
 	cap      int
+
+	// owner/bit wire the buffer into its router's occupancy bitmask: bit
+	// port*VCs+vc of owner.occ is set iff the buffer is non-empty. owner is
+	// nil when occupancy tracking is disabled (ports*VCs > 64).
+	owner *Router
+	bit   uint8
 }
 
 // Len returns the number of messages queued in the buffer.
@@ -40,6 +46,9 @@ func (b *Buffer) push(now int64, m *Message) {
 	b.lastArr = now
 	m.ArrivalCycle = now
 	b.q = append(b.q, m)
+	if b.owner != nil && len(b.q) == 1 {
+		b.owner.occ |= 1 << b.bit
+	}
 }
 
 func (b *Buffer) pop() *Message {
@@ -47,7 +56,24 @@ func (b *Buffer) pop() *Message {
 	copy(b.q, b.q[1:])
 	b.q[len(b.q)-1] = nil
 	b.q = b.q[:len(b.q)-1]
+	if b.owner != nil && len(b.q) == 0 {
+		b.owner.occ &^= 1 << b.bit
+	}
 	return m
+}
+
+// syncOcc re-derives the buffer's occupancy bit from its queue length. Code
+// that rewrites b.q wholesale (instead of going through push/pop) must call
+// it afterwards.
+func (b *Buffer) syncOcc() {
+	if b.owner == nil {
+		return
+	}
+	if len(b.q) == 0 {
+		b.owner.occ &^= 1 << b.bit
+	} else {
+		b.owner.occ |= 1 << b.bit
+	}
 }
 
 // Router is one mesh router. Each port has one input buffer per virtual
@@ -82,6 +108,12 @@ type Router struct {
 	// frozen marks the whole router as fault-frozen: it makes no grants,
 	// though its input buffers still accept in-flight arrivals.
 	frozen bool
+
+	// occ is the input-buffer occupancy bitmask: bit p*VCs+vc is set iff
+	// in[p][vc] is non-empty. Maintained by Buffer push/pop when the network
+	// enables occupancy tracking; arbitration iterates set bits instead of
+	// scanning every (port, VC) pair.
+	occ uint64
 
 	nPorts int // number of connected ports (for stats/diagnostics)
 }

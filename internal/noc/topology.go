@@ -117,6 +117,10 @@ func (n *Node) Inject(m *Message) {
 	n.injectQ = append(n.injectQ, m)
 }
 
+// Network returns the network this node is attached to. Traffic generators
+// use it to reach the message freelist (Network.AllocMessage).
+func (n *Node) Network() *Network { return n.net }
+
 // PendingInjections returns the number of messages queued at the node that
 // have not yet entered the network.
 func (n *Node) PendingInjections() int { return len(n.injectQ) - n.injectHead }

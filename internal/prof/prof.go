@@ -1,0 +1,80 @@
+// Package prof wires the standard Go profilers into the command-line tools:
+// CPU and heap profiles written on exit, and an optional net/http/pprof
+// endpoint for live inspection of long simulations. Every binary exposes the
+// same three flags (-cpuprofile, -memprofile, -pprof) through AddFlags.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Config selects which profilers to start. Zero values disable everything, so
+// commands pay nothing unless a flag is set.
+type Config struct {
+	// CPUProfile is a file path for a CPU profile covering Start..stop.
+	CPUProfile string
+	// MemProfile is a file path for a heap profile captured at stop time
+	// (after a final GC, so it reflects live memory, not transient garbage).
+	MemProfile string
+	// HTTPAddr, if non-empty, serves net/http/pprof on this address (e.g.
+	// "localhost:6060") for the lifetime of the process.
+	HTTPAddr string
+}
+
+// AddFlags registers the standard profiling flags on fs and returns the
+// Config they populate. Call Start after fs.Parse.
+func AddFlags(fs *flag.FlagSet) *Config {
+	c := &Config{}
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&c.HTTPAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	return c
+}
+
+// Start launches the configured profilers and returns a stop function to be
+// deferred by main. The stop function finishes the CPU profile and writes the
+// heap profile; it is safe to call when nothing was enabled.
+func Start(c Config) (stop func(), err error) {
+	var cpuFile *os.File
+	if c.CPUProfile != "" {
+		cpuFile, err = os.Create(c.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	if c.HTTPAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(c.HTTPAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: pprof server: %v\n", err)
+			}
+		}()
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if c.MemProfile != "" {
+			f, err := os.Create(c.MemProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // profile live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: write heap profile: %v\n", err)
+			}
+		}
+	}, nil
+}

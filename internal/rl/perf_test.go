@@ -1,0 +1,100 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchDQL builds a mesh-scale learner (60->15->15, batch 32) with a full
+// replay ring, the shape TrainMesh drives once per cycle.
+func benchDQL() (*DQL, *rand.Rand) {
+	d := NewDQL(newNet(5, 60, 15, 15), DQLConfig{
+		BatchSize: 32, ReplayCap: 4000, SyncEvery: 2000, LR: 0.05, Gamma: 0.5,
+	})
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < d.Replay.Cap(); i++ {
+		s := make([]float64, 60)
+		nx := make([]float64, 60)
+		for j := range s {
+			s[j] = rng.Float64()
+			nx[j] = rng.Float64()
+		}
+		d.Observe(Experience{
+			State:     s,
+			Action:    rng.Intn(15),
+			Reward:    rng.Float64(),
+			Next:      nx,
+			NextValid: []int{rng.Intn(5), 5 + rng.Intn(5), 10 + rng.Intn(5)},
+		})
+	}
+	return d, rng
+}
+
+func BenchmarkHotDQLTrainBatch(b *testing.B) {
+	d, rng := benchDQL()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.TrainBatch(rng)
+	}
+}
+
+func BenchmarkHotReplaySample(b *testing.B) {
+	d, rng := benchDQL()
+	dst := make([]*Experience, d.Cfg.BatchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Replay.SampleInto(rng, dst)
+	}
+}
+
+func TestSampleIntoMatchesSample(t *testing.T) {
+	d, _ := benchDQL()
+	a := d.Replay.Sample(rand.New(rand.NewSource(3)), 16)
+	b := make([]*Experience, 16)
+	d.Replay.SampleInto(rand.New(rand.NewSource(3)), b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: Sample and SampleInto diverge with the same seed", i)
+		}
+	}
+}
+
+func TestReplayAtOrdersOldestFirst(t *testing.T) {
+	r := NewReplay(4)
+	for i := 0; i < 6; i++ { // wraps: holds experiences 2..5
+		r.Add(Experience{Action: i})
+	}
+	for i, want := range []int{2, 3, 4, 5} {
+		if got := r.At(i).Action; got != want {
+			t.Fatalf("At(%d).Action = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestReplayOnEvictFiresOnOverwrite(t *testing.T) {
+	r := NewReplay(3)
+	var evicted []int
+	r.OnEvict = func(e *Experience) { evicted = append(evicted, e.Action) }
+	for i := 0; i < 5; i++ {
+		r.Add(Experience{Action: i})
+	}
+	// Capacity 3: adds 3 and 4 overwrite experiences 0 and 1, oldest first.
+	if len(evicted) != 2 || evicted[0] != 0 || evicted[1] != 1 {
+		t.Fatalf("evicted = %v, want [0 1]", evicted)
+	}
+}
+
+// TestTrainBatchZeroAllocs pins the tentpole contract: steady-state training
+// performs no heap allocations.
+func TestTrainBatchZeroAllocs(t *testing.T) {
+	d, rng := benchDQL()
+	d.TrainBatch(rng) // warm the batch scratch
+	allocs := testing.AllocsPerRun(50, func() {
+		d.TrainBatch(rng)
+	})
+	if allocs != 0 {
+		t.Fatalf("TrainBatch allocates %v objects per batch, want 0", allocs)
+	}
+}

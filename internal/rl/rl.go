@@ -35,6 +35,14 @@ type Replay struct {
 	buf  []Experience
 	next int
 	size int
+
+	// OnEvict, when non-nil, is called with the experience about to be
+	// overwritten each time Add lands on a full ring. The receiver may
+	// recycle e.State and e.NextValid: the ring is FIFO, so by the time an
+	// experience is evicted the older neighbor whose Next aliased this
+	// experience's State is already gone, and no live experience can still
+	// reference the recycled slices.
+	OnEvict func(e *Experience)
 }
 
 // NewReplay creates a replay memory holding up to capacity experiences.
@@ -47,11 +55,26 @@ func NewReplay(capacity int) *Replay {
 
 // Add records one experience, evicting the oldest when full.
 func (r *Replay) Add(e Experience) {
+	if r.size == len(r.buf) && r.OnEvict != nil {
+		r.OnEvict(&r.buf[r.next])
+	}
 	r.buf[r.next] = e
 	r.next = (r.next + 1) % len(r.buf)
 	if r.size < len(r.buf) {
 		r.size++
 	}
+}
+
+// At returns the i-th stored experience in insertion order (0 = oldest).
+// The pointer is into the ring: it is invalidated by the Add that evicts it.
+func (r *Replay) At(i int) *Experience {
+	if i < 0 || i >= r.size {
+		panic("rl: replay index out of range")
+	}
+	if r.size < len(r.buf) {
+		return &r.buf[i]
+	}
+	return &r.buf[(r.next+i)%len(r.buf)]
 }
 
 // Len returns the number of stored experiences.
@@ -60,17 +83,30 @@ func (r *Replay) Len() int { return r.size }
 // Cap returns the capacity of the replay memory.
 func (r *Replay) Cap() int { return len(r.buf) }
 
-// Sample returns n experiences drawn uniformly at random (with replacement).
-// It panics if the buffer is empty.
+// Sample returns n experiences drawn uniformly at random with replacement —
+// the same ring slot can appear several times in one batch, and the draw
+// probability is uniform over stored experiences regardless of age. It panics
+// if the buffer is empty. The batch is freshly allocated; hot paths should
+// use SampleInto with a reusable scratch slice instead.
 func (r *Replay) Sample(rng *rand.Rand, n int) []*Experience {
+	out := make([]*Experience, n)
+	r.SampleInto(rng, out)
+	return out
+}
+
+// SampleInto fills dst with len(dst) experiences drawn uniformly at random
+// with replacement, performing no allocations. It draws exactly len(dst)
+// values from rng in slot order — the same RNG consumption as Sample — so
+// swapping one for the other cannot perturb a seeded trajectory. It panics if
+// the buffer is empty. The pointers are into the ring and are invalidated
+// once Add overwrites their slots.
+func (r *Replay) SampleInto(rng *rand.Rand, dst []*Experience) {
 	if r.size == 0 {
 		panic("rl: sampling from empty replay memory")
 	}
-	out := make([]*Experience, n)
-	for i := range out {
-		out[i] = &r.buf[rng.Intn(r.size)]
+	for i := range dst {
+		dst[i] = &r.buf[rng.Intn(r.size)]
 	}
-	return out
 }
 
 // DQLConfig configures a deep Q-learner. The defaults (applied by NewDQL for
@@ -116,6 +152,11 @@ type DQL struct {
 	Trace *TrainingTrace
 
 	steps int64
+
+	// batch and nextStates are TrainBatch scratch, grown once and reused so
+	// steady-state training performs zero heap allocations.
+	batch      []*Experience
+	nextStates [][]float64
 }
 
 // NewDQL wraps an online network with a target copy and replay memory.
@@ -136,42 +177,75 @@ func (d *DQL) Observe(e Experience) { d.Replay.Add(e) }
 // each: Q(s,a) <- r + gamma * max_a' Qtarget(s',a'). It returns the mean
 // squared TD error of the batch and is a no-op returning 0 when replay is
 // empty.
+//
+// Target-network inference is batched through ForwardBatch for speed, but in
+// chunks that never straddle a target-network sync: every experience sees the
+// exact target weights the one-Forward-per-experience loop would have used,
+// keeping seeded trajectories bit-identical.
 func (d *DQL) TrainBatch(rng *rand.Rand) float64 {
 	if d.Replay.Len() == 0 {
 		return 0
 	}
-	batch := d.Replay.Sample(rng, d.Cfg.BatchSize)
+	n := d.Cfg.BatchSize
+	if cap(d.batch) < n {
+		d.batch = make([]*Experience, n)
+		d.nextStates = make([][]float64, n)
+	}
+	batch := d.batch[:n]
+	d.Replay.SampleInto(rng, batch)
 	total := 0.0
-	for _, e := range batch {
-		target := e.Reward
-		if e.Next != nil {
-			q := d.Target.Forward(e.Next)
-			var best float64
-			if len(e.NextValid) > 0 {
-				best = q[e.NextValid[0]]
-				for _, a := range e.NextValid[1:] {
-					if q[a] > best {
-						best = q[a]
-					}
-				}
-			} else {
-				best = q[0]
-				for _, v := range q[1:] {
-					if v > best {
-						best = v
-					}
-				}
-			}
-			target += d.Cfg.Gamma * best
-		}
-		total += d.Online.TrainAction(e.State, e.Action, target, d.Cfg.LR)
-		d.steps++
-		if d.steps%d.Cfg.SyncEvery == 0 {
-			d.Target.CopyFrom(d.Online)
-			if d.Trace != nil {
-				d.Trace.observeSync(d.steps)
+	for start := 0; start < n; {
+		chunk := n - start
+		if d.Cfg.SyncEvery > 0 {
+			if until := int(d.Cfg.SyncEvery - d.steps%d.Cfg.SyncEvery); until < chunk {
+				chunk = until
 			}
 		}
+		// Batched target inference for this chunk's non-terminal successors.
+		ns := d.nextStates[:0]
+		for _, e := range batch[start : start+chunk] {
+			if e.Next != nil {
+				ns = append(ns, e.Next)
+			}
+		}
+		var qs [][]float64
+		if len(ns) > 0 {
+			qs = d.Target.ForwardBatch(ns)
+		}
+		qi := 0
+		for _, e := range batch[start : start+chunk] {
+			target := e.Reward
+			if e.Next != nil {
+				q := qs[qi]
+				qi++
+				var best float64
+				if len(e.NextValid) > 0 {
+					best = q[e.NextValid[0]]
+					for _, a := range e.NextValid[1:] {
+						if q[a] > best {
+							best = q[a]
+						}
+					}
+				} else {
+					best = q[0]
+					for _, v := range q[1:] {
+						if v > best {
+							best = v
+						}
+					}
+				}
+				target += d.Cfg.Gamma * best
+			}
+			total += d.Online.TrainAction(e.State, e.Action, target, d.Cfg.LR)
+			d.steps++
+			if d.Cfg.SyncEvery > 0 && d.steps%d.Cfg.SyncEvery == 0 {
+				d.Target.CopyFrom(d.Online)
+				if d.Trace != nil {
+					d.Trace.observeSync(d.steps)
+				}
+			}
+		}
+		start += chunk
 	}
 	loss := total / float64(len(batch))
 	if d.Trace != nil {

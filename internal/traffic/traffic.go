@@ -156,6 +156,7 @@ type Injector struct {
 
 	rng    *rand.Rand
 	nextID uint64
+	net    *noc.Network // cached from Nodes[0] for the message freelist
 }
 
 // NewInjector creates an injector over the given nodes.
@@ -179,10 +180,16 @@ func NewInjector(nodes []*noc.Node, p Pattern, rate float64, rng *rand.Rand) *In
 // Tick performs one cycle of injections. Call it once before each
 // Network.Step (or from a wrapper loop).
 func (in *Injector) Tick() {
+	if in.net == nil {
+		in.net = in.Nodes[0].Network()
+	}
 	for i, node := range in.Nodes {
 		if in.rng.Float64() >= in.Rate {
 			continue
 		}
+		// RNG draw order (dest, size, class) matches the historical literal
+		// construction so seeded runs stay bit-identical; messages now come
+		// from the network's freelist instead of the heap.
 		d := in.Pattern.Dest(in.rng, in.Nodes, i)
 		size := in.Sizes.sample(in.rng)
 		typ := noc.TypeRequest
@@ -190,13 +197,13 @@ func (in *Injector) Tick() {
 			typ = noc.TypeResponse
 		}
 		in.nextID++
-		node.Inject(&noc.Message{
-			ID:        in.nextID,
-			Dst:       in.Nodes[d].ID,
-			Class:     noc.Class(in.rng.Intn(max(1, in.Classes))),
-			Type:      typ,
-			SizeFlits: size,
-		})
+		m := in.net.AllocMessage()
+		m.ID = in.nextID
+		m.Dst = in.Nodes[d].ID
+		m.Class = noc.Class(in.rng.Intn(max(1, in.Classes)))
+		m.Type = typ
+		m.SizeFlits = size
+		node.Inject(m)
 	}
 }
 
