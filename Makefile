@@ -30,12 +30,14 @@ verify: fmt vet build test race
 
 # Refresh the hot-path benchmark snapshot (ns/op, B/op, allocs/op for the
 # BenchmarkHot* suite). bench-diff compares a fresh run against the committed
-# snapshot and exits 1 on a >25% ns/op regression; CI runs it non-gating.
+# snapshot and exits 1 on a >25% regression in ns/op, allocs/op, or bytes/op
+# (any alloc growth from a zero-alloc baseline fails outright); CI runs it
+# non-gating.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_5.json -benchtime 2s
+	$(GO) run ./cmd/bench -out BENCH_6.json -benchtime 2s
 
 bench-diff:
-	$(GO) run ./cmd/bench -diff BENCH_5.json
+	$(GO) run ./cmd/bench -diff BENCH_6.json
 
 # Full benchmark sweep across every package (slow; not snapshot-tracked).
 bench-paper:

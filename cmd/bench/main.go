@@ -6,9 +6,12 @@
 //	bench -diff BENCH_5.json                 # measure and compare to a snapshot
 //	bench -diff BENCH_5.json -threshold 30   # tolerate up to +30% ns/op drift
 //
-// In -diff mode the exit status is 1 when any benchmark's ns/op regressed
-// beyond the threshold; CI runs it as a non-gating smoke job so noisy runners
-// flag rather than fail a build.
+// In -diff mode the exit status is 1 when any benchmark regressed beyond the
+// threshold on ns/op, allocs/op, or bytes/op. Allocation counts are exact, so
+// any growth from a zero-alloc baseline fails regardless of threshold; bytes
+// get a 64-byte absolute slack so whole-object jitter on tiny baselines does
+// not flag. CI runs it as a non-gating smoke job so noisy runners flag rather
+// than fail a build.
 package main
 
 import (
@@ -51,7 +54,7 @@ var benchLine = regexp.MustCompile(
 func main() {
 	out := flag.String("out", "", "write the snapshot JSON to this file")
 	diff := flag.String("diff", "", "compare against this baseline snapshot instead of writing one")
-	threshold := flag.Float64("threshold", 25, "ns/op regression tolerance in percent for -diff")
+	threshold := flag.Float64("threshold", 25, "regression tolerance in percent for -diff (ns/op, allocs/op, bytes/op)")
 	pattern := flag.String("bench", "Hot", "benchmark name pattern passed to go test -bench")
 	benchtime := flag.String("benchtime", "", "value for go test -benchtime (e.g. 100x, 2s); empty = default")
 	flag.Parse()
@@ -171,15 +174,35 @@ func compare(base, cur *Snapshot, threshold float64) (regressed bool) {
 			flag = "  << REGRESSION"
 			regressed = true
 		}
+		// Allocation counts are exact (not timer noise), so any increase from
+		// a zero-alloc baseline is a real leak into the hot path and fails
+		// outright; from a nonzero baseline the percentage threshold applies.
 		allocs := fmt.Sprintf("%d", c.AllocsPerOp)
 		if c.AllocsPerOp > b.AllocsPerOp {
 			allocs = fmt.Sprintf("%d (was %d)", c.AllocsPerOp, b.AllocsPerOp)
+			if b.AllocsPerOp == 0 ||
+				float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+threshold/100) {
+				flag = "  << ALLOC REGRESSION"
+				regressed = true
+			}
+		}
+		// Bytes/op gets a small absolute slack on top of the percentage: tiny
+		// baselines (a few bytes of amortized growth) jitter by whole-object
+		// steps that are not regressions.
+		byteSlack := float64(b.BytesPerOp) * threshold / 100
+		if byteSlack < 64 {
+			byteSlack = 64
+		}
+		if float64(c.BytesPerOp) > float64(b.BytesPerOp)+byteSlack {
+			allocs += fmt.Sprintf(" %dB (was %dB)", c.BytesPerOp, b.BytesPerOp)
+			flag = "  << BYTES REGRESSION"
+			regressed = true
 		}
 		fmt.Printf("%-42s %12.0f %12.0f %+7.1f%% %s%s\n",
 			c.Name, b.NsPerOp, c.NsPerOp, delta, allocs, flag)
 	}
 	if regressed {
-		fmt.Printf("\nns/op regressions beyond +%.0f%% detected\n", threshold)
+		fmt.Printf("\nregressions beyond +%.0f%% detected (ns/op, allocs/op, or bytes/op)\n", threshold)
 	}
 	return regressed
 }

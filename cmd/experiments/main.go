@@ -5,7 +5,8 @@
 //	experiments [-scale quick|full] [-seed N] [-no-nn] <experiment>
 //
 // where <experiment> is one of: fig4, fig5, fig7, fig9, fig10, fig11, fig12,
-// fig13, table1, table2, table3, ablation, starvation, faults, hillclimb, all.
+// fig13, table1, table2, table3, ablation, starvation, faults, hillclimb,
+// quant, all.
 package main
 
 import (
@@ -36,6 +37,8 @@ func main() {
 	traceDir := flag.String("trace-dir", "",
 		"write one Chrome/Perfetto trace JSON per APU sweep cell into this directory")
 	traceSample := flag.Uint64("trace-sample", 64, "trace only every Nth message per cell")
+	quantMinAgree := flag.Float64("quant-min-agree", 0,
+		"quant experiment: exit nonzero when INT8/float action agreement falls below this fraction (0 = report only)")
 	flag.Usage = usage
 	profCfg := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -85,7 +88,7 @@ func main() {
 	}
 
 	what := strings.ToLower(flag.Arg(0))
-	run(what, sc, withNN, *csvDir, tel)
+	run(what, sc, withNN, *csvDir, tel, *quantMinAgree)
 
 	if tel != nil && tel.Registry != nil && *metricsOut != "" {
 		writeMetrics(*metricsOut, tel.Registry)
@@ -171,7 +174,7 @@ func writeCSV(dir, name, content string) {
 	fmt.Printf("(csv written to %s)\n", path)
 }
 
-func run(what string, sc experiments.Scale, withNN bool, csvDir string, tel *experiments.Telemetry) {
+func run(what string, sc experiments.Scale, withNN bool, csvDir string, tel *experiments.Telemetry, quantMinAgree float64) {
 	switch what {
 	case "fig4":
 		r := experiments.MeshStudy(4, sc)
@@ -254,15 +257,24 @@ func run(what string, sc experiments.Scale, withNN bool, csvDir string, tel *exp
 		writeCSV(csvDir, "flitcheck.csv", r.CSV())
 	case "hillclimb":
 		fmt.Print(experiments.HillClimbReport(sc))
+	case "quant":
+		r := experiments.QuantStudy(4, sc)
+		fmt.Print(r.Render())
+		writeCSV(csvDir, "quant_fidelity.csv", r.CSV())
+		if quantMinAgree > 0 && r.Agreement < quantMinAgree {
+			fmt.Fprintf(os.Stderr, "quant: INT8 action agreement %.3f below required %.3f\n",
+				r.Agreement, quantMinAgree)
+			os.Exit(1)
+		}
 	case "all":
 		for _, w := range []string{
 			"table1", "table2", "table3", "fig4", "fig5", "fig7",
 			"fig9+10", "fig11", "fig12", "fig13", "ablation", "starvation",
 			"fairness", "faults", "qtable", "flitcheck", "bufablation", "tiebreak",
-			"derive", "hillclimb",
+			"derive", "hillclimb", "quant",
 		} {
 			fmt.Printf("==== %s ====\n", w)
-			run(w, sc, withNN, csvDir, tel)
+			run(w, sc, withNN, csvDir, tel, quantMinAgree)
 			fmt.Println()
 		}
 	default:
@@ -305,7 +317,7 @@ func usage() {
 
 experiments: fig4 fig5 fig7 fig9 fig10 fig11 fig12 fig13
              table1 table2 table3 ablation starvation fairness faults
-             qtable flitcheck bufablation tiebreak derive hillclimb all
+             qtable flitcheck bufablation tiebreak derive hillclimb quant all
 flags:
 `)
 	flag.PrintDefaults()

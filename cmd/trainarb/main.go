@@ -61,6 +61,10 @@ func main() {
 	traceOut := flag.String("trace-out", "",
 		"write the training-run trace as Chrome/Perfetto JSON to this file (implies -trace)")
 	traceSample := flag.Uint64("trace-sample", 16, "trace only every Nth message")
+	quantEval := flag.Bool("quant-eval", false,
+		"after training, compile the frozen net to the INT8 engine and report action agreement, Q-value error and latency deltas")
+	quantMinAgree := flag.Float64("quant-min-agree", 0,
+		"with -quant-eval: exit nonzero when INT8/float action agreement falls below this fraction (0 = report only)")
 	profCfg := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -179,6 +183,24 @@ func main() {
 		r := core.EvaluateMeshPolicy(cfg, pr, 1000, *evalCycles)
 		fmt.Printf("%-16s avg latency %.2f (oldest accuracy %.1f%%)\n",
 			pol.Name(), r.AvgLatency, 100*pr.accuracy())
+	}
+
+	if *quantEval {
+		sc := experiments.Quick()
+		sc.Seed = *seed
+		sc.WarmupCycles = 1000
+		sc.MeasureCycles = *evalCycles
+		if sc.MeasureCycles < 1000 {
+			sc.MeasureCycles = 1000
+		}
+		qr := experiments.QuantEval(tr.Agent, cfg, sc)
+		fmt.Print(qr.Render())
+		if *quantMinAgree > 0 && qr.Agreement < *quantMinAgree {
+			fmt.Fprintf(os.Stderr,
+				"trainarb: INT8 action agreement %.3f below required %.3f\n",
+				qr.Agreement, *quantMinAgree)
+			os.Exit(1)
+		}
 	}
 
 	if *out != "" {

@@ -29,6 +29,13 @@ type Agent struct {
 	// inference on the trained weights.
 	Training bool
 
+	// Infer, when non-nil, replaces the online float network for the greedy
+	// Q-value lookup in Select — the seam the quantization-fidelity study
+	// uses to deploy an nn.Quantized INT8 engine (the software twin of the
+	// paper's Table 3 MAC array) behind an otherwise unchanged policy.
+	// Training updates always flow through the float network regardless.
+	Infer nn.Inference
+
 	// EpsStart and EpsDecayCycles define an exploration schedule: epsilon
 	// decays linearly from EpsStart to the configured floor over
 	// EpsDecayCycles training cycles. With EpsDecayCycles zero the floor is
@@ -236,7 +243,12 @@ func (a *Agent) Select(ctx *noc.ArbContext, cands []noc.Candidate) int {
 		choice = a.rng.Intn(len(cands))
 		a.explored++
 	} else {
-		q := a.DQL.Online.Forward(state)
+		var q []float64
+		if a.Infer != nil {
+			q = a.Infer.Forward(state)
+		} else {
+			q = a.DQL.Online.Forward(state)
+		}
 		bestQ := q[a.Spec.Slot(cands[0].Port, cands[0].VC)]
 		for i, c := range cands[1:] {
 			if v := q[a.Spec.Slot(c.Port, c.VC)]; v > bestQ {

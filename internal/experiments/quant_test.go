@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuantStudyShape runs the quantization-fidelity study at tiny scale and
+// checks its structural invariants: a trained 4x4 agent's INT8 compilation
+// must mostly agree with the float policy, the Q-value error must be small
+// against the observed Q range, and the Table 3 engine cross-reference must
+// cost the deployed network shape.
+func TestQuantStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := QuantStudy(4, tinyScale())
+	if r.Decisions < 100 {
+		t.Fatalf("only %d evaluation decisions recorded", r.Decisions)
+	}
+	// Even a briefly-trained agent must keep the large majority of its
+	// decisions under INT8: per-layer symmetric quantization of a 15-hidden
+	// net has far more than enough resolution for argmax stability.
+	if r.Agreement < 0.8 {
+		t.Fatalf("INT8 action agreement %.3f, want >= 0.8", r.Agreement)
+	}
+	if r.QRange <= 0 {
+		t.Fatal("no Q range observed")
+	}
+	if r.QErrMean > 0.1*r.QRange {
+		t.Fatalf("mean Q error %g too large for range %g", r.QErrMean, r.QRange)
+	}
+	if len(r.Deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2", len(r.Deltas))
+	}
+	for _, d := range r.Deltas {
+		if d.FloatAvg <= 0 || d.QuantAvg <= 0 {
+			t.Fatalf("degenerate latency delta: %+v", d)
+		}
+		// The INT8 policy must stay in the same latency regime as the float
+		// policy: a broken engine degenerates to FIFO-like latencies (2x+).
+		if d.QuantAvg > 1.5*d.FloatAvg {
+			t.Fatalf("INT8 latency regression at rate %.3f: float %.2f vs int8 %.2f",
+				d.Rate, d.FloatAvg, d.QuantAvg)
+		}
+	}
+	if r.Engine.Gates <= 0 || r.Engine.SRAMBits <= 0 {
+		t.Fatalf("engine cost not populated: %+v", r.Engine)
+	}
+	out := r.Render()
+	for _, want := range []string{"action agreement", "Table 3 engine", "int8 avg lat"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if csv := r.CSV(); !strings.Contains(csv, "action_agreement") {
+		t.Fatal("CSV missing action_agreement column")
+	}
+}

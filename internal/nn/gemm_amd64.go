@@ -1,0 +1,51 @@
+package nn
+
+// hasFMAKernel reports whether the AVX2+FMA batched-inference microkernel in
+// gemm_amd64.s is usable on this CPU (AVX2 and FMA present, and the OS saves
+// YMM state). ForwardBatchFast falls back to the bit-identical blocked scalar
+// kernel when it is false, so the flag only ever selects between two correct
+// implementations.
+var hasFMAKernel = detectAVX2FMA()
+
+// cpuidex executes CPUID with the given leaf and subleaf.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (requires OSXSAVE, checked by the caller).
+func xgetbv() (eax, edx uint32)
+
+// fmaDot4x2 accumulates, into sums, the dot products of two weight rows
+// (w0, w1) against four activation rows (x0..x3) over the first n&^3
+// elements, vectorized four float64 lanes at a time with FMA:
+//
+//	sums[2*b+j] = sum_i w_j[i] * x_b[i]   (i in 0..n&^3, j in {0,1}, b in 0..3)
+//
+// Each sum is the horizontal reduction of four interleaved lane partials, so
+// its rounding differs from left-to-right summation by a few ULPs (the
+// ForwardBatchFast contract). The caller adds the bias and the n%4 tail.
+//
+//go:noescape
+func fmaDot4x2(w0, w1, x0, x1, x2, x3 *float64, n int, sums *[8]float64)
+
+// detectAVX2FMA performs the standard AVX2 feature dance: CPUID leaf 1 for
+// FMA/AVX/OSXSAVE, XGETBV for OS-enabled XMM+YMM state, CPUID leaf 7 for AVX2.
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const (
+		fma     = 1 << 12
+		avx     = 1 << 28
+		osxsave = 1 << 27
+	)
+	if ecx1&fma == 0 || ecx1&avx == 0 || ecx1&osxsave == 0 {
+		return false
+	}
+	if lo, _ := xgetbv(); lo&0x6 != 0x6 { // XMM and YMM state enabled by OS
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package nn
+
+// hasFMAKernel is false off amd64: ForwardBatchFast uses the bit-identical
+// blocked scalar kernel everywhere the AVX2 microkernel is unavailable.
+const hasFMAKernel = false
+
+// fmaDot4x2 is never called when hasFMAKernel is false.
+func fmaDot4x2(w0, w1, x0, x1, x2, x3 *float64, n int, sums *[8]float64) {
+	panic("nn: fmaDot4x2 called without FMA kernel support")
+}

@@ -210,12 +210,37 @@ func (m *MLP) Forward(x []float64) []float64 {
 
 // ForwardBatch runs inference on a batch of inputs and returns one Q-row per
 // input. Each row is computed with exactly Forward's per-row summation order
-// (bias first, then weights in input order), so a batched evaluation is
-// bit-identical to len(xs) sequential Forward calls; the weight row of each
-// neuron is loaded once and reused across the whole batch. The returned rows
-// alias internal scratch, valid until the next ForwardBatch call; Forward and
-// the training methods use separate scratch and do not invalidate them.
+// (bias first, then weights in ascending input order), so a batched evaluation
+// is bit-identical to len(xs) sequential Forward calls — the blocked kernel
+// below only changes *which* dot products are in flight simultaneously, never
+// the order of additions within one.
+//
+// Aliasing contract: the returned row headers and the activations they point
+// at live in internal scratch (m.brows/m.bacts) that the NEXT ForwardBatch
+// call on this network overwrites. Callers must finish reading (or copy) every
+// row of one batch before issuing the next — see rl.DQL.TrainBatch, whose
+// SyncEvery-chunked target inference consumes each chunk's rows completely
+// before requesting the next chunk. Forward and the training methods use
+// separate scratch (m.acts) and do not invalidate batch rows.
 func (m *MLP) ForwardBatch(xs [][]float64) [][]float64 {
+	return m.forwardBatch(xs, false)
+}
+
+// ForwardBatchFast is ForwardBatch running on the AVX2+FMA microkernel when
+// the CPU supports it (gemm_amd64.s): four float64 lanes per accumulator and
+// fused multiply-adds. Fusing and lane-interleaved partial sums change the
+// rounding of each dot product, so rows are NOT bit-identical to Forward —
+// they agree to within a few ULPs (pinned by TestForwardBatchFastULP). Use it
+// where throughput matters and ULP-exactness does not: rl's batched
+// target-network inference rides this path (Bellman targets are estimates;
+// ULP noise is far below the TD error they carry). Without CPU support it is
+// exactly ForwardBatch. The aliasing contract is ForwardBatch's: rows are
+// valid until the next batched call, either flavor.
+func (m *MLP) ForwardBatchFast(xs [][]float64) [][]float64 {
+	return m.forwardBatch(xs, hasFMAKernel)
+}
+
+func (m *MLP) forwardBatch(xs [][]float64, fma bool) [][]float64 {
 	nb := len(xs)
 	if nb == 0 {
 		return nil
@@ -234,22 +259,12 @@ func (m *MLP) ForwardBatch(xs [][]float64) [][]float64 {
 	}
 	src := 0
 	for _, layer := range m.Layers {
-		in, out := layer.In, layer.Out
-		prev := m.bacts[src][:nb*in]
-		next := m.bacts[1-src][:nb*out]
-		act := layer.Act
-		for j := 0; j < out; j++ {
-			row := layer.W[j*in : (j+1)*in]
-			bj := layer.B[j]
-			for b := 0; b < nb; b++ {
-				x := prev[b*in : (b+1)*in]
-				x = x[:len(row)] // one bounds check; elides them in the loop
-				z := bj
-				for i, w := range row {
-					z += w * x[i]
-				}
-				next[b*out+j] = act.apply(z)
-			}
+		prev := m.bacts[src][:nb*layer.In]
+		next := m.bacts[1-src][:nb*layer.Out]
+		if fma {
+			layer.forwardBlockedFMA(prev, next, nb)
+		} else {
+			layer.forwardBlocked(prev, next, nb)
 		}
 		src = 1 - src
 	}
@@ -263,6 +278,181 @@ func (m *MLP) ForwardBatch(xs [][]float64) [][]float64 {
 		rows[b] = flat[b*outW : (b+1)*outW : (b+1)*outW]
 	}
 	return rows
+}
+
+// forwardBlocked computes next = act(prev · Wᵀ + b) for nb row-major rows of
+// prev, register-blocked 4 batch rows x 2 neurons. The naive j-outer/b-inner
+// formulation runs each (neuron, sample) dot product as one dependent
+// float-add chain (latency-bound: one flop per FP-add latency) and re-streams
+// the whole nb x in batch plane from L2 once per neuron. The 4x2 tile keeps 8
+// independent accumulators in registers, so the inner loop retires 8
+// independent multiply-adds per input element while each loaded weight is
+// reused across 4 samples and each loaded activation across 2 neurons —
+// throughput-bound, and the batch plane is streamed out/2 times instead of
+// out times. Every accumulator is initialized to its neuron's bias and then
+// adds w[i]*x[i] in ascending i — exactly Forward's summation order — so the
+// result is bit-identical to the scalar loop.
+func (l *Layer) forwardBlocked(prev, next []float64, nb int) {
+	in, out, act := l.In, l.Out, l.Act
+	b := 0
+	for ; b+4 <= nb; b += 4 {
+		x0 := prev[(b+0)*in : (b+1)*in]
+		x1 := prev[(b+1)*in : (b+2)*in]
+		x2 := prev[(b+2)*in : (b+3)*in]
+		x3 := prev[(b+3)*in : (b+4)*in]
+		j := 0
+		for ; j+2 <= out; j += 2 {
+			w0 := l.W[(j+0)*in : (j+1)*in]
+			w1 := l.W[(j+1)*in : (j+2)*in]
+			// One bounds check each; elides them in the loop below.
+			w1 = w1[:len(w0)]
+			y0 := x0[:len(w0)]
+			y1 := x1[:len(w0)]
+			y2 := x2[:len(w0)]
+			y3 := x3[:len(w0)]
+			b0, b1 := l.B[j], l.B[j+1]
+			z00, z01 := b0, b1
+			z10, z11 := b0, b1
+			z20, z21 := b0, b1
+			z30, z31 := b0, b1
+			for i, w := range w0 {
+				v := w1[i]
+				e0, e1, e2, e3 := y0[i], y1[i], y2[i], y3[i]
+				z00 += w * e0
+				z01 += v * e0
+				z10 += w * e1
+				z11 += v * e1
+				z20 += w * e2
+				z21 += v * e2
+				z30 += w * e3
+				z31 += v * e3
+			}
+			next[(b+0)*out+j] = act.apply(z00)
+			next[(b+0)*out+j+1] = act.apply(z01)
+			next[(b+1)*out+j] = act.apply(z10)
+			next[(b+1)*out+j+1] = act.apply(z11)
+			next[(b+2)*out+j] = act.apply(z20)
+			next[(b+2)*out+j+1] = act.apply(z21)
+			next[(b+3)*out+j] = act.apply(z30)
+			next[(b+3)*out+j+1] = act.apply(z31)
+		}
+		if j < out { // odd trailing neuron: 4 samples, 1 weight row
+			w0 := l.W[j*in : (j+1)*in]
+			y0 := x0[:len(w0)]
+			y1 := x1[:len(w0)]
+			y2 := x2[:len(w0)]
+			y3 := x3[:len(w0)]
+			bj := l.B[j]
+			z0, z1, z2, z3 := bj, bj, bj, bj
+			for i, w := range w0 {
+				z0 += w * y0[i]
+				z1 += w * y1[i]
+				z2 += w * y2[i]
+				z3 += w * y3[i]
+			}
+			next[(b+0)*out+j] = act.apply(z0)
+			next[(b+1)*out+j] = act.apply(z1)
+			next[(b+2)*out+j] = act.apply(z2)
+			next[(b+3)*out+j] = act.apply(z3)
+		}
+	}
+	// Trailing samples (nb mod 4): scalar per-row loop, same order as Forward.
+	for ; b < nb; b++ {
+		x := prev[b*in : (b+1)*in]
+		for j := 0; j < out; j++ {
+			row := l.W[j*in : (j+1)*in]
+			y := x[:len(row)]
+			z := l.B[j]
+			for i, w := range row {
+				z += w * y[i]
+			}
+			next[b*out+j] = act.apply(z)
+		}
+	}
+}
+
+// forwardBlockedFMA is forwardBlocked with the 4-sample x 2-neuron tile's
+// inner loop replaced by the AVX2+FMA assembly microkernel: each accumulator
+// becomes four interleaved fused partial sums reduced at the end, which
+// trades Forward's exact rounding for ~4x the arithmetic throughput (the
+// ForwardBatchFast contract). The bias and the n%4 vector tail are added here
+// in scalar code; tile remainders fall back to the scalar paths.
+func (l *Layer) forwardBlockedFMA(prev, next []float64, nb int) {
+	in, out, act := l.In, l.Out, l.Act
+	n4 := in &^ 3
+	var sums [8]float64
+	b := 0
+	for ; b+4 <= nb; b += 4 {
+		x0 := prev[(b+0)*in : (b+1)*in]
+		x1 := prev[(b+1)*in : (b+2)*in]
+		x2 := prev[(b+2)*in : (b+3)*in]
+		x3 := prev[(b+3)*in : (b+4)*in]
+		j := 0
+		for ; j+2 <= out; j += 2 {
+			w0 := l.W[(j+0)*in : (j+1)*in]
+			w1 := l.W[(j+1)*in : (j+2)*in]
+			if n4 > 0 {
+				fmaDot4x2(&w0[0], &w1[0], &x0[0], &x1[0], &x2[0], &x3[0], in, &sums)
+			} else {
+				sums = [8]float64{}
+			}
+			b0, b1 := l.B[j], l.B[j+1]
+			z00, z01 := b0+sums[0], b1+sums[1]
+			z10, z11 := b0+sums[2], b1+sums[3]
+			z20, z21 := b0+sums[4], b1+sums[5]
+			z30, z31 := b0+sums[6], b1+sums[7]
+			for i := n4; i < in; i++ {
+				w, v := w0[i], w1[i]
+				z00 += w * x0[i]
+				z01 += v * x0[i]
+				z10 += w * x1[i]
+				z11 += v * x1[i]
+				z20 += w * x2[i]
+				z21 += v * x2[i]
+				z30 += w * x3[i]
+				z31 += v * x3[i]
+			}
+			next[(b+0)*out+j] = act.apply(z00)
+			next[(b+0)*out+j+1] = act.apply(z01)
+			next[(b+1)*out+j] = act.apply(z10)
+			next[(b+1)*out+j+1] = act.apply(z11)
+			next[(b+2)*out+j] = act.apply(z20)
+			next[(b+2)*out+j+1] = act.apply(z21)
+			next[(b+3)*out+j] = act.apply(z30)
+			next[(b+3)*out+j+1] = act.apply(z31)
+		}
+		if j < out { // odd trailing neuron
+			w0 := l.W[j*in : (j+1)*in]
+			y0 := x0[:len(w0)]
+			y1 := x1[:len(w0)]
+			y2 := x2[:len(w0)]
+			y3 := x3[:len(w0)]
+			bj := l.B[j]
+			z0, z1, z2, z3 := bj, bj, bj, bj
+			for i, w := range w0 {
+				z0 += w * y0[i]
+				z1 += w * y1[i]
+				z2 += w * y2[i]
+				z3 += w * y3[i]
+			}
+			next[(b+0)*out+j] = act.apply(z0)
+			next[(b+1)*out+j] = act.apply(z1)
+			next[(b+2)*out+j] = act.apply(z2)
+			next[(b+3)*out+j] = act.apply(z3)
+		}
+	}
+	for ; b < nb; b++ { // trailing samples: scalar per-row loop
+		x := prev[b*in : (b+1)*in]
+		for j := 0; j < out; j++ {
+			row := l.W[j*in : (j+1)*in]
+			y := x[:len(row)]
+			z := l.B[j]
+			for i, w := range row {
+				z += w * y[i]
+			}
+			next[b*out+j] = act.apply(z)
+		}
+	}
 }
 
 // Backprop performs one SGD step given dLoss/dOutput evaluated at the current

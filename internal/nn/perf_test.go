@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -41,7 +42,26 @@ func BenchmarkHotTrainAction(b *testing.B) {
 	}
 }
 
+// BenchmarkHotMLPForwardBatch32 measures the production batched-inference
+// path — ForwardBatchFast, the one rl's chunked target inference rides
+// (AVX2+FMA microkernel where available, the blocked scalar kernel
+// otherwise).
 func BenchmarkHotMLPForwardBatch32(b *testing.B) {
+	m := apuNet()
+	xs := make([][]float64, 32)
+	for i := range xs {
+		xs[i] = randVec(m.InputSize(), int64(20+i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ForwardBatchFast(xs)
+	}
+}
+
+// BenchmarkHotMLPForwardBatchExact32 measures the bit-identical blocked
+// scalar batch path (ForwardBatch), the fallback and reference.
+func BenchmarkHotMLPForwardBatchExact32(b *testing.B) {
 	m := apuNet()
 	xs := make([][]float64, 32)
 	for i := range xs {
@@ -54,30 +74,142 @@ func BenchmarkHotMLPForwardBatch32(b *testing.B) {
 	}
 }
 
+// BenchmarkHotQuantForward measures single-sample INT8 inference on the APU
+// network — the software analog of the paper's Table 3 MAC-array engine.
+func BenchmarkHotQuantForward(b *testing.B) {
+	m := apuNet()
+	q := Quantize(m, [][]float64{randVec(m.InputSize(), 3)})
+	x := randVec(m.InputSize(), 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Forward(x)
+	}
+}
+
+// BenchmarkHotQuantForwardBatch32 measures the blocked INT8 batch path.
+func BenchmarkHotQuantForwardBatch32(b *testing.B) {
+	m := apuNet()
+	q := Quantize(m, [][]float64{randVec(m.InputSize(), 3)})
+	xs := make([][]float64, 32)
+	for i := range xs {
+		xs[i] = randVec(m.InputSize(), int64(20+i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.ForwardBatch(xs)
+	}
+}
+
 // TestForwardBatchMatchesForward pins ForwardBatch's bit-identity contract:
-// every row equals the corresponding sequential Forward call exactly,
-// including a ragged batch size and a second call that reuses warm scratch.
+// every row equals the corresponding sequential Forward call exactly, across
+// architectures (including a widest-hidden-plane net, which stresses the
+// nb*maxWidth scratch sizing), tile-remainder widths, and a shrink-then-grow
+// batch-size sequence reusing one network's warm scratch.
 func TestForwardBatchMatchesForward(t *testing.T) {
-	m := New([]int{60, 15, 15}, []Activation{Sigmoid, LeakyReLU},
-		rand.New(rand.NewSource(4)))
-	for _, nb := range []int{1, 3, 32, 7} {
-		xs := make([][]float64, nb)
-		for i := range xs {
-			xs[i] = randVec(m.InputSize(), int64(100*nb+i))
-		}
-		rows := m.ForwardBatch(xs)
-		if len(rows) != nb {
-			t.Fatalf("batch %d: got %d rows", nb, len(rows))
-		}
-		for b, x := range xs {
-			want := m.Forward(x) // separate scratch; does not invalidate rows
-			for j := range want {
-				if rows[b][j] != want[j] {
-					t.Fatalf("batch %d row %d out %d: ForwardBatch %v != Forward %v",
-						nb, b, j, rows[b][j], want[j])
+	archs := []struct {
+		name  string
+		sizes []int
+		acts  []Activation
+	}{
+		{"square", []int{60, 15, 15}, []Activation{Sigmoid, LeakyReLU}},
+		// Widest plane is the hidden layer: the nb*maxWidth scratch sizing
+		// must account for interior planes, not just input/output widths.
+		{"wide-hidden", []int{6, 40, 4}, []Activation{Sigmoid, LeakyReLU}},
+		// Odd widths exercise the 2-neuron tile's trailing-neuron path; a
+		// 3-wide input exercises the all-tail (in < 4) kernel case.
+		{"odd", []int{3, 7, 5}, []Activation{Tanh, Identity}},
+	}
+	for _, arch := range archs {
+		m := New(arch.sizes, arch.acts, rand.New(rand.NewSource(4)))
+		// Shrink-then-grow batch sequence on one network: scratch sized by
+		// the 32-batch must survive shrinking to 3 and regrow at 64.
+		for _, nb := range []int{1, 3, 32, 7, 3, 64, 5} {
+			xs := make([][]float64, nb)
+			for i := range xs {
+				xs[i] = randVec(m.InputSize(), int64(100*nb+i))
+			}
+			rows := m.ForwardBatch(xs)
+			if len(rows) != nb {
+				t.Fatalf("%s batch %d: got %d rows", arch.name, nb, len(rows))
+			}
+			for b, x := range xs {
+				want := m.Forward(x) // separate scratch; does not invalidate rows
+				for j := range want {
+					if rows[b][j] != want[j] {
+						t.Fatalf("%s batch %d row %d out %d: ForwardBatch %v != Forward %v",
+							arch.name, nb, b, j, rows[b][j], want[j])
+					}
 				}
 			}
 		}
+	}
+}
+
+// ulpDistance returns the number of representable float64 values between a
+// and b (0 when bit-identical).
+func ulpDistance(a, b float64) uint64 {
+	ia, ib := int64(math.Float64bits(a)), int64(math.Float64bits(b))
+	// Map the sign-magnitude float encoding onto the ordered integer line.
+	if ia < 0 {
+		ia = math.MinInt64 - ia
+	}
+	if ib < 0 {
+		ib = math.MinInt64 - ib
+	}
+	d := ia - ib
+	if d < 0 {
+		d = -d
+	}
+	return uint64(d)
+}
+
+// TestForwardBatchFastULP pins the ForwardBatchFast equivalence contract:
+// FMA contraction and 4-lane interleaved partial sums may perturb each output
+// by a few ULPs relative to sequential Forward, never more. The relative
+// bound (512 ULPs ≈ 1e-13 relative) is paired with a tiny absolute floor for
+// outputs that a cancelling sum drives toward zero, where ULPs lose meaning —
+// a near-zero result can differ by hundreds of its own denormal-scale ULPs
+// while the absolute error stays ~1e-18. Any kernel bug (wrong element,
+// dropped tail, bad reduction) overshoots both bounds by orders of magnitude.
+// Off amd64/AVX2 the fast path IS ForwardBatch and the distance is 0.
+func TestForwardBatchFastULP(t *testing.T) {
+	const (
+		maxULP = 512
+		absTol = 1e-12
+	)
+	for _, arch := range [][]int{{504, 42, 42}, {6, 40, 4}, {3, 7, 5}, {60, 15, 15}} {
+		m := New(arch, []Activation{Sigmoid, LeakyReLU}, rand.New(rand.NewSource(8)))
+		for _, nb := range []int{1, 4, 32, 33} {
+			xs := make([][]float64, nb)
+			for i := range xs {
+				xs[i] = randVec(m.InputSize(), int64(300*nb+i))
+			}
+			rows := m.ForwardBatchFast(xs)
+			for b, x := range xs {
+				want := m.Forward(x)
+				for j := range want {
+					d := ulpDistance(rows[b][j], want[j])
+					if d > maxULP && math.Abs(rows[b][j]-want[j]) > absTol {
+						t.Fatalf("%v nb=%d row %d out %d: fast %v vs exact %v (%d ULPs)",
+							arch, nb, b, j, rows[b][j], want[j], d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForwardBatchFastZeroAllocs(t *testing.T) {
+	m := apuNet()
+	xs := make([][]float64, 32)
+	for i := range xs {
+		xs[i] = randVec(m.InputSize(), int64(i))
+	}
+	m.ForwardBatchFast(xs) // warm the batch scratch
+	if allocs := testing.AllocsPerRun(100, func() { m.ForwardBatchFast(xs) }); allocs != 0 {
+		t.Fatalf("ForwardBatchFast allocates %v objects per call, want 0", allocs)
 	}
 }
 

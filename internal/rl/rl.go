@@ -178,10 +178,15 @@ func (d *DQL) Observe(e Experience) { d.Replay.Add(e) }
 // squared TD error of the batch and is a no-op returning 0 when replay is
 // empty.
 //
-// Target-network inference is batched through ForwardBatch for speed, but in
+// Target-network inference is batched through ForwardBatchFast for speed, in
 // chunks that never straddle a target-network sync: every experience sees the
-// exact target weights the one-Forward-per-experience loop would have used,
-// keeping seeded trajectories bit-identical.
+// exact target weights the one-Forward-per-experience loop would have used.
+// On amd64 with AVX2 the fast path's FMA contraction may perturb target
+// Q-values by a few ULPs relative to sequential Forward — deterministic for a
+// given platform and seed, but trajectories are pinned per-platform rather
+// than cross-platform. The returned rows alias the target network's batch
+// scratch; each chunk is fully consumed (Bellman max extracted) before the
+// next chunk's ForwardBatchFast call invalidates them.
 func (d *DQL) TrainBatch(rng *rand.Rand) float64 {
 	if d.Replay.Len() == 0 {
 		return 0
@@ -210,7 +215,7 @@ func (d *DQL) TrainBatch(rng *rand.Rand) float64 {
 		}
 		var qs [][]float64
 		if len(ns) > 0 {
-			qs = d.Target.ForwardBatch(ns)
+			qs = d.Target.ForwardBatchFast(ns)
 		}
 		qi := 0
 		for _, e := range batch[start : start+chunk] {

@@ -187,6 +187,116 @@ func TestDQLTargetSync(t *testing.T) {
 	}
 }
 
+// TestTrainBatchChunkedMatchesSequential is the regression test for the
+// ForwardBatchFast scratch-aliasing contract: TrainBatch's chunked target
+// inference returns rows that alias the target network's batch scratch, and a
+// bug that read a row after the next chunk's batched call (i.e. a stale row)
+// would silently train on the wrong Bellman targets. The test forces multiple
+// chunks and mid-batch target syncs (BatchSize 8, SyncEvery 3 => chunks of
+// 3/3/2 with a CopyFrom between), then replays the identical sample sequence
+// through a reference learner that calls Target.Forward once per experience —
+// the unbatched loop the chunking must be equivalent to. Final policies must
+// agree to within FMA-contraction noise; a stale-row bug perturbs targets at
+// full magnitude and blows through the tolerance by many orders.
+func TestTrainBatchChunkedMatchesSequential(t *testing.T) {
+	const (
+		in, hidden, out = 6, 12, 4
+		batch           = 8
+		syncEvery       = 3
+		rounds          = 40
+		seed            = 31
+	)
+	build := func() *DQL {
+		return NewDQL(newNet(seed, in, hidden, out), DQLConfig{
+			Gamma: 0.9, LR: 0.02, BatchSize: batch, ReplayCap: 64,
+			SyncEvery: syncEvery,
+		})
+	}
+	fill := func(d *DQL) {
+		rng := rand.New(rand.NewSource(seed + 1))
+		for i := 0; i < 48; i++ {
+			s := make([]float64, in)
+			next := make([]float64, in)
+			for j := range s {
+				s[j] = rng.Float64()
+				next[j] = rng.Float64()
+			}
+			e := Experience{State: s, Action: rng.Intn(out), Reward: rng.Float64(), Next: next}
+			if i%5 == 0 {
+				e.Next = nil // terminal
+			} else if i%3 == 0 {
+				e.NextValid = []int{0, 2}
+			}
+			d.Observe(e)
+		}
+	}
+
+	chunked := build()
+	fill(chunked)
+	rngC := rand.New(rand.NewSource(seed + 2))
+	for r := 0; r < rounds; r++ {
+		chunked.TrainBatch(rngC)
+	}
+
+	// Reference: identical nets, replay, and RNG draws, but one
+	// Target.Forward per experience — no batching, no aliased rows.
+	ref := build()
+	fill(ref)
+	rngR := rand.New(rand.NewSource(seed + 2))
+	sample := make([]*Experience, batch)
+	steps := int64(0)
+	for r := 0; r < rounds; r++ {
+		ref.Replay.SampleInto(rngR, sample)
+		for _, e := range sample {
+			target := e.Reward
+			if e.Next != nil {
+				q := ref.Target.Forward(e.Next)
+				var best float64
+				if len(e.NextValid) > 0 {
+					best = q[e.NextValid[0]]
+					for _, a := range e.NextValid[1:] {
+						if q[a] > best {
+							best = q[a]
+						}
+					}
+				} else {
+					best = q[0]
+					for _, v := range q[1:] {
+						if v > best {
+							best = v
+						}
+					}
+				}
+				target += ref.Cfg.Gamma * best
+			}
+			ref.Online.TrainAction(e.State, e.Action, target, ref.Cfg.LR)
+			steps++
+			if steps%syncEvery == 0 {
+				ref.Target.CopyFrom(ref.Online)
+			}
+		}
+	}
+
+	// Compare the learned policies on probe states. ForwardBatchFast may
+	// drift from Forward by ULPs per call; over 320 updates that compounds
+	// to at most ~1e-9 here. A stale-row bug injects O(1) target errors.
+	probes := rand.New(rand.NewSource(seed + 3))
+	for p := 0; p < 16; p++ {
+		x := make([]float64, in)
+		for j := range x {
+			x[j] = probes.Float64()
+		}
+		got := chunked.Online.Forward(x)
+		want := append([]float64(nil), ref.Online.Forward(x)...)
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-6 {
+				t.Fatalf("probe %d out %d: chunked %v vs sequential reference %v",
+					p, j, got[j], want[j])
+			}
+		}
+	}
+}
+
 func TestTrainBatchEmptyReplayNoop(t *testing.T) {
 	d := NewDQL(newNet(7, 2, 4, 2), DQLConfig{})
 	if loss := d.TrainBatch(rand.New(rand.NewSource(1))); loss != 0 {

@@ -174,7 +174,9 @@ func (h *Histogram) Overflow() int64 { return h.overflow }
 // (0 < p <= 100) using bin upper edges. Overflowed samples report the exact
 // observed maximum.
 func (h *Histogram) Percentile(p float64) float64 {
-	if p <= 0 || p > 100 {
+	// NaN fails every comparison, so test it explicitly: a range guard alone
+	// would let NaN through and silently return the first bin's edge.
+	if math.IsNaN(p) || p <= 0 || p > 100 {
 		panic("stats: percentile must be in (0,100]")
 	}
 	total := h.acc.Count()
@@ -201,7 +203,9 @@ func (h *Histogram) Percentile(p float64) float64 {
 // estimate, since the overflow bucket records no interior structure. An empty
 // histogram returns 0.
 func (h *Histogram) Quantile(q float64) float64 {
-	if q < 0 || q > 1 {
+	// q < 0 || q > 1 is false for NaN, which would otherwise walk the bins
+	// with a NaN target and return the overflow path's clamp of NaN.
+	if math.IsNaN(q) || q < 0 || q > 1 {
 		panic("stats: quantile must be in [0,1]")
 	}
 	total := h.acc.Count()
@@ -244,7 +248,7 @@ func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	if p <= 0 || p > 100 {
+	if math.IsNaN(p) || p <= 0 || p > 100 {
 		panic("stats: percentile must be in (0,100]")
 	}
 	sorted := make([]float64, len(xs))

@@ -172,11 +172,19 @@ func TestHistogram(t *testing.T) {
 }
 
 func TestHistogramPanics(t *testing.T) {
+	nan := math.NaN()
 	for _, f := range []func(){
 		func() { NewHistogram(0, 5) },
 		func() { NewHistogram(1, 0) },
 		func() { NewHistogram(1, 1).Percentile(0) },
 		func() { NewHistogram(1, 1).Percentile(101) },
+		// NaN fails both range comparisons; the guards must reject it
+		// explicitly rather than let it walk the bins.
+		func() { NewHistogram(1, 1).Percentile(nan) },
+		func() { NewHistogram(1, 1).Quantile(nan) },
+		func() { NewHistogram(1, 1).Quantile(-0.1) },
+		func() { NewHistogram(1, 1).Quantile(1.1) },
+		func() { Percentile([]float64{1, 2}, nan) },
 	} {
 		func() {
 			defer func() {
