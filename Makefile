@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test race vet fmt verify bench bench-diff bench-paper clean
+.PHONY: build test race vet fmt verify bench bench-diff bench-paper serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,12 @@ bench-diff:
 # Full benchmark sweep across every package (slow; not snapshot-tracked).
 bench-paper:
 	$(GO) test -bench=. -benchmem ./...
+
+# End-to-end check of the simulation daemon: start it on a loopback port,
+# submit a tiny deterministic sweep twice over real HTTP, require the second
+# submission to be a byte-identical cache hit, and check the health endpoints.
+serve-smoke:
+	$(GO) run ./cmd/simd -smoke
 
 clean:
 	$(GO) clean ./...

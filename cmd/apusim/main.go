@@ -14,6 +14,7 @@ import (
 
 	"mlnoc/internal/apu"
 	"mlnoc/internal/arb"
+	"mlnoc/internal/cliutil"
 	"mlnoc/internal/core"
 	"mlnoc/internal/fault"
 	"mlnoc/internal/nn"
@@ -52,34 +53,20 @@ func main() {
 	profCfg := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "apusim: "+format+"\n", args...)
-		os.Exit(2)
-	}
 	profStop, profErr := prof.Start(*profCfg)
 	if profErr != nil {
-		fail("%v", profErr)
+		cliutil.Fatal("apusim", "%v", profErr)
 	}
 	defer profStop()
-	if *opscale <= 0 {
-		fail("-opscale must be positive, got %g", *opscale)
-	}
-	if *quadSide < 3 {
-		fail("-quadside must be >= 3, got %d", *quadSide)
-	}
-	if *bufcap < 0 {
-		fail("-bufcap must be >= 0, got %d", *bufcap)
-	}
-	if *watchdog < 0 {
-		fail("-watchdog must be >= 0, got %d", *watchdog)
-	}
-	if *faults < 0 || *faults > 1 {
-		fail("-faults must be in [0,1], got %g", *faults)
-	}
-	if *traceSample < 1 {
-		fail("-trace-sample must be >= 1, got %d", *traceSample)
-	}
-	fmt.Printf("seed: %d\n", *seed)
+	var check cliutil.Check
+	check.PositiveF("-opscale", *opscale)
+	check.AtLeast("-quadside", int64(*quadSide), 3)
+	check.NonNegative("-bufcap", int64(*bufcap))
+	check.NonNegative("-watchdog", *watchdog)
+	check.Unit("-faults", *faults)
+	check.AtLeastU("-trace-sample", *traceSample, 1)
+	check.Exit("apusim")
+	cliutil.PrintSeed(os.Stdout, *seed)
 
 	var models [4]*synfull.Model
 	if *mix != "" {

@@ -45,6 +45,7 @@ type Snapshot struct {
 
 var defaultPkgs = []string{
 	"./internal/noc", "./internal/nn", "./internal/rl", "./internal/core",
+	"./internal/serve",
 }
 
 // benchLine matches `BenchmarkHotX-8  1234  56.7 ns/op  8 B/op  2 allocs/op`.
@@ -55,7 +56,8 @@ func main() {
 	out := flag.String("out", "", "write the snapshot JSON to this file")
 	diff := flag.String("diff", "", "compare against this baseline snapshot instead of writing one")
 	threshold := flag.Float64("threshold", 25, "regression tolerance in percent for -diff (ns/op, allocs/op, bytes/op)")
-	pattern := flag.String("bench", "Hot", "benchmark name pattern passed to go test -bench")
+	pattern := flag.String("bench", "Hot|JobHash|SubmitCachedJob",
+		"benchmark name pattern passed to go test -bench")
 	benchtime := flag.String("benchtime", "", "value for go test -benchtime (e.g. 100x, 2s); empty = default")
 	flag.Parse()
 

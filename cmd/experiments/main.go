@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"mlnoc/internal/cliutil"
 	"mlnoc/internal/core"
 	"mlnoc/internal/experiments"
 	"mlnoc/internal/obs"
@@ -46,14 +47,11 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if *watchdog < 0 {
-		fmt.Fprintf(os.Stderr, "experiments: -watchdog must be >= 0, got %d\n", *watchdog)
-		os.Exit(2)
-	}
-	if *traceSample < 1 {
-		fmt.Fprintf(os.Stderr, "experiments: -trace-sample must be >= 1, got %d\n", *traceSample)
-		os.Exit(2)
-	}
+	var check cliutil.Check
+	check.NonNegative("-watchdog", *watchdog)
+	check.AtLeastU("-trace-sample", *traceSample, 1)
+	check.OneOf("-scale", *scale, "quick", "full")
+	check.Exit("experiments")
 	profStop, err := prof.Start(*profCfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
@@ -62,18 +60,14 @@ func main() {
 	defer profStop()
 
 	var sc experiments.Scale
-	switch *scale {
-	case "quick":
-		sc = experiments.Quick()
-	case "full":
+	if *scale == "full" {
 		sc = experiments.Full()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
-		os.Exit(2)
+	} else {
+		sc = experiments.Quick()
 	}
 	sc.Seed = *seed
 	withNN := !*noNN
-	fmt.Printf("seed: %d\n", sc.Seed)
+	cliutil.PrintSeed(os.Stdout, sc.Seed)
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {

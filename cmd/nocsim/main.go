@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"mlnoc/internal/arb"
+	"mlnoc/internal/cliutil"
 	"mlnoc/internal/core"
 	"mlnoc/internal/fault"
 	"mlnoc/internal/nn"
@@ -53,43 +54,23 @@ func main() {
 	profCfg := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "nocsim: "+format+"\n", args...)
-		os.Exit(2)
-	}
 	profStop, profErr := prof.Start(*profCfg)
 	if profErr != nil {
-		fail("%v", profErr)
+		cliutil.Fatal("nocsim", "%v", profErr)
 	}
 	defer profStop()
-	if *size <= 0 {
-		fail("-size must be positive, got %d", *size)
-	}
-	if *rate < 0 || *rate > 1 {
-		fail("-rate must be in [0,1], got %g", *rate)
-	}
-	if *cycles < 0 {
-		fail("-cycles must be >= 0, got %d", *cycles)
-	}
-	if *warmup < 0 {
-		fail("-warmup must be >= 0, got %d", *warmup)
-	}
-	if *vcs <= 0 {
-		fail("-vcs must be positive, got %d", *vcs)
-	}
-	if *bufcap <= 0 {
-		fail("-bufcap must be positive, got %d", *bufcap)
-	}
-	if *watchdog < 0 {
-		fail("-watchdog must be >= 0, got %d", *watchdog)
-	}
-	if *faults < 0 || *faults > 1 {
-		fail("-faults must be in [0,1], got %g", *faults)
-	}
-	if *traceSample < 1 {
-		fail("-trace-sample must be >= 1, got %d", *traceSample)
-	}
-	fmt.Printf("seed: %d\n", *seed)
+	var check cliutil.Check
+	check.Positive("-size", int64(*size))
+	check.Unit("-rate", *rate)
+	check.NonNegative("-cycles", *cycles)
+	check.NonNegative("-warmup", *warmup)
+	check.Positive("-vcs", int64(*vcs))
+	check.Positive("-bufcap", int64(*bufcap))
+	check.NonNegative("-watchdog", *watchdog)
+	check.Unit("-faults", *faults)
+	check.AtLeastU("-trace-sample", *traceSample, 1)
+	check.Exit("nocsim")
+	cliutil.PrintSeed(os.Stdout, *seed)
 
 	net, cores := noc.BuildMeshCores(noc.Config{
 		Width: *size, Height: *size, VCs: *vcs, BufferCap: *bufcap,

@@ -1,0 +1,232 @@
+// Command simd is the simulation-as-a-service daemon: it serves the
+// deterministic experiment engine over HTTP with a job queue, a bounded
+// worker pool and a content-hash result cache.
+//
+// Usage:
+//
+//	simd [-addr :8723] [-workers N] [-queue N] [-cache-entries N]
+//	     [-cache-dir DIR] [-watchdog N] [-smoke]
+//
+// Endpoints:
+//
+//	POST /jobs              submit a JSON job spec (202, or 200 on cache hit)
+//	GET  /jobs              list jobs
+//	GET  /jobs/{id}         status + progress
+//	GET  /jobs/{id}/result  result payload (rendered tables + CSV artifacts)
+//	GET  /jobs/{id}/stream  live SSE feed (progress, obs snapshots, alerts)
+//	POST /jobs/{id}/cancel  cancel a queued or running job
+//	GET  /healthz           liveness
+//	GET  /readyz            readiness (drain / queue / watchdog state)
+//	GET  /metrics           text counters and latency histograms
+//
+// The first SIGINT/SIGTERM drains gracefully (running jobs finish, queued
+// jobs are cancelled, new submissions get 503); a second signal cancels
+// running jobs too.
+//
+// -smoke starts the daemon on a loopback port, submits a tiny deterministic
+// sweep twice, verifies the second submission is a byte-identical cache hit,
+// checks /healthz, and exits — the self-contained end-to-end check used by
+// `make serve-smoke` and CI.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mlnoc/internal/cliutil"
+	"mlnoc/internal/obs"
+	"mlnoc/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8723", "HTTP listen address")
+	workers := flag.Int("workers", 0, "max simultaneously running jobs (0 = NumCPU)")
+	queueDepth := flag.Int("queue", 64, "max queued jobs before submissions get 503")
+	cacheEntries := flag.Int("cache-entries", 128, "in-memory result cache size (jobs)")
+	cacheDir := flag.String("cache-dir", "", "spill results to this directory (survives restarts)")
+	watchdog := flag.Int64("watchdog", 0,
+		"attach a watchdog to every job's cells: flag head messages older than N cycles and N-cycle zero-delivery windows (0 = off)")
+	smoke := flag.Bool("smoke", false, "run the self-contained smoke check and exit")
+	flag.Parse()
+
+	var check cliutil.Check
+	check.NonNegative("-workers", int64(*workers))
+	check.Positive("-queue", int64(*queueDepth))
+	check.Positive("-cache-entries", int64(*cacheEntries))
+	check.NonNegative("-watchdog", *watchdog)
+	check.Exit("simd")
+
+	if *cacheDir != "" {
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			cliutil.Fatal("simd", "cache dir: %v", err)
+		}
+	}
+
+	cfg := serve.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheEntries,
+		CacheDir:     *cacheDir,
+	}
+	if *watchdog > 0 {
+		cfg.Watchdog = &obs.WatchdogConfig{
+			MaxHeadAge:     *watchdog,
+			LivelockWindow: *watchdog,
+		}
+	}
+	srv := serve.New(cfg)
+
+	if *smoke {
+		os.Exit(runSmoke(srv))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cliutil.Fatal("simd", "listen: %v", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			cliutil.Fatal("simd", "serve: %v", err)
+		}
+	}()
+	fmt.Printf("simd: listening on %s (workers=%d, queue=%d)\n",
+		ln.Addr(), cfg.Workers, cfg.QueueDepth)
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	<-sigs
+	fmt.Println("simd: draining (running jobs finish; signal again to cancel them)")
+	go func() {
+		<-sigs
+		fmt.Println("simd: cancelling running jobs")
+		srv.Kill()
+	}()
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+	fmt.Println("simd: drained")
+}
+
+// smokeSpec is a deliberately tiny deterministic sweep: every workload in the
+// catalog at 10% load for a few hundred cycles — seconds of work, stable
+// output.
+const smokeSpec = `{"type":"sweep","sweep":{"experiment":"ablation"},` +
+	`"scale":{"op_scale":0.1,"warmup_cycles":200,"measure_cycles":400}}`
+
+// runSmoke drives the daemon end-to-end over real HTTP and real simulation:
+// submit the same job twice, require the second to be an instant cache hit
+// with a byte-identical payload, and check the health endpoints.
+func runSmoke(srv *serve.Server) int {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smoke: listen: %v\n", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "smoke: FAIL: "+format+"\n", args...)
+		return 1
+	}
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		code, body := httpGet(base + path)
+		if code != http.StatusOK {
+			return fail("%s: %d %s", path, code, body)
+		}
+	}
+
+	code, doc := submit(base)
+	if code != http.StatusAccepted {
+		return fail("first submit: code %d, want 202", code)
+	}
+	fmt.Printf("smoke: submitted %s (hash %.12s...), waiting\n", doc.ID, doc.Hash)
+	start := time.Now()
+	for {
+		code, st := status(base, doc.ID)
+		if code != http.StatusOK {
+			return fail("status %s: code %d", doc.ID, code)
+		}
+		if st.State == serve.StateDone {
+			break
+		}
+		if st.State == serve.StateFailed || st.State == serve.StateCancelled {
+			return fail("job ended %s: %s", st.State, st.Error)
+		}
+		if time.Since(start) > 2*time.Minute {
+			return fail("job still %s after %s", st.State, time.Since(start))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Printf("smoke: %s done in %s\n", doc.ID, time.Since(start).Round(time.Millisecond))
+
+	_, first := httpGet(base + "/jobs/" + doc.ID + "/result")
+
+	code2, doc2 := submit(base)
+	if code2 != http.StatusOK {
+		return fail("second submit: code %d, want 200 (cached)", code2)
+	}
+	if !doc2.Cached {
+		return fail("second submission of the identical job was not served from cache")
+	}
+	_, second := httpGet(base + "/jobs/" + doc2.ID + "/result")
+	if !bytes.Equal(first, second) {
+		return fail("cache hit payload differs from the original result")
+	}
+	fmt.Printf("smoke: cache hit verified, %d-byte payload byte-identical\n", len(second))
+
+	code, metrics := httpGet(base + "/metrics")
+	if code != http.StatusOK || !bytes.Contains(metrics, []byte("cache_hits 1")) {
+		return fail("/metrics missing cache_hits 1:\n%s", metrics)
+	}
+	fmt.Println("smoke: PASS")
+	return 0
+}
+
+func submit(base string) (int, serve.StatusDoc) {
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader([]byte(smokeSpec)))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smoke: submit: %v\n", err)
+		return 0, serve.StatusDoc{}
+	}
+	defer resp.Body.Close()
+	var doc serve.StatusDoc
+	_ = json.NewDecoder(resp.Body).Decode(&doc)
+	return resp.StatusCode, doc
+}
+
+func status(base, id string) (int, serve.StatusDoc) {
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		return 0, serve.StatusDoc{}
+	}
+	defer resp.Body.Close()
+	var doc serve.StatusDoc
+	_ = json.NewDecoder(resp.Body).Decode(&doc)
+	return resp.StatusCode, doc
+}
+
+func httpGet(url string) (int, []byte) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, []byte(err.Error())
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}

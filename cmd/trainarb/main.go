@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"mlnoc/internal/arb"
+	"mlnoc/internal/cliutil"
 	"mlnoc/internal/core"
 	"mlnoc/internal/experiments"
 	"mlnoc/internal/noc"
@@ -69,33 +70,22 @@ func main() {
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "trainarb: "+format+"\n", args...)
-		os.Exit(2)
+		cliutil.Fatal("trainarb", format, args...)
 	}
 	profStop, err := prof.Start(*profCfg)
 	if err != nil {
 		fail("%v", err)
 	}
 	defer profStop()
-	if *size <= 0 {
-		fail("-size must be positive, got %d", *size)
-	}
-	if *cycles <= 0 {
-		fail("-cycles must be positive, got %d", *cycles)
-	}
-	if *rate < 0 || *rate > 1 {
-		fail("-rate must be in [0,1], got %g", *rate)
-	}
-	if *evalCycles < 0 {
-		fail("-eval must be >= 0, got %d", *evalCycles)
-	}
-	if *heatmapEvery < 0 {
-		fail("-heatmap-every must be >= 0, got %d", *heatmapEvery)
-	}
-	if *traceSample < 1 {
-		fail("-trace-sample must be >= 1, got %d", *traceSample)
-	}
-	fmt.Printf("seed: %d\n", *seed)
+	var check cliutil.Check
+	check.Positive("-size", int64(*size))
+	check.Positive("-cycles", *cycles)
+	check.Unit("-rate", *rate)
+	check.NonNegative("-eval", *evalCycles)
+	check.NonNegative("-heatmap-every", int64(*heatmapEvery))
+	check.AtLeastU("-trace-sample", *traceSample, 1)
+	check.Exit("trainarb")
+	cliutil.PrintSeed(os.Stdout, *seed)
 
 	if *apuMode {
 		if err := trainAPU(*cycles, *seed, *out); err != nil {

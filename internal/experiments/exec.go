@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -18,6 +19,16 @@ import (
 // agent is still in training mode; call Freeze before using it as the "NN"
 // evaluation policy.
 func TrainAPU(sc Scale) *core.Agent {
+	agent, _ := TrainAPUCtx(context.Background(), sc)
+	return agent
+}
+
+// TrainAPUCtx is TrainAPU with cooperative cancellation: ctx is polled every
+// trainCheckEvery cycles and between workload launches, so a cancelled
+// server-side training job stops within a bounded number of simulated cycles
+// instead of spending the whole training budget. On cancellation the agent
+// trained so far is returned alongside ctx.Err().
+func TrainAPUCtx(ctx context.Context, sc Scale) (*core.Agent, error) {
 	spec := core.APUSpec()
 	agent := core.NewAgent(spec, core.AgentConfig{
 		Hidden: 42,
@@ -42,17 +53,28 @@ func TrainAPU(sc Scale) *core.Agent {
 	}
 	var cycles int64
 	for launch := int64(0); cycles < sc.TrainCycles; launch++ {
+		if ctx.Err() != nil {
+			return agent, ctx.Err()
+		}
 		runner := apu.NewRunner(sys, apu.Homogeneous(model), apu.RunnerConfig{
 			OpScale: sc.OpScale,
 			Seed:    sc.Seed + 101*launch,
 		})
 		for !runner.Done() && cycles < sc.TrainCycles {
+			if cycles%trainCheckEvery == 0 && ctx.Err() != nil {
+				return agent, ctx.Err()
+			}
 			runner.Step()
 			cycles++
 		}
 	}
-	return agent
+	return agent, nil
 }
+
+// trainCheckEvery is the cancellation poll period of TrainAPUCtx in cycles:
+// coarse enough that the atomic ctx.Err() check is invisible next to a
+// simulated cycle, fine enough that cancellation lands within milliseconds.
+const trainCheckEvery = 1024
 
 // APUHeatmap trains the APU agent and returns its Fig. 7 weight heatmap.
 func APUHeatmap(sc Scale) *core.Heatmap {
@@ -118,9 +140,21 @@ func ExecSweep(sc Scale, trainNN bool) *ExecSweepResult {
 // ExecSweepT is ExecSweep with per-cell telemetry (progress reporting, obs
 // snapshots, watchdog); tel may be nil.
 func ExecSweepT(sc Scale, trainNN bool, tel *Telemetry) *ExecSweepResult {
+	r, _ := ExecSweepCtx(context.Background(), sc, trainNN, tel)
+	return r
+}
+
+// ExecSweepCtx is ExecSweepT with cooperative cancellation: ctx is checked
+// between sweep cells (and inside NN training), so a killed server job stops
+// dispatching promptly instead of finishing the whole sweep. On cancellation
+// it returns (nil, ctx.Err()); cells already in flight complete first.
+func ExecSweepCtx(ctx context.Context, sc Scale, trainNN bool, tel *Telemetry) (*ExecSweepResult, error) {
 	var nnAgent *core.Agent
 	if trainNN {
-		nnAgent = TrainAPU(sc)
+		var err error
+		if nnAgent, err = TrainAPUCtx(ctx, sc); err != nil {
+			return nil, err
+		}
 		nnAgent.Freeze()
 	}
 	factories := apuFactories(nnAgent)
@@ -142,7 +176,7 @@ func ExecSweepT(sc Scale, trainNN bool, tel *Telemetry) *ExecSweepResult {
 		res.Tail[wi] = make([]float64, len(factories))
 	}
 	total := len(models) * len(factories)
-	parallelFor(total, func(k int) {
+	err := parallelForCtx(ctx, total, func(k int) {
 		wi, pi := k/len(factories), k%len(factories)
 		model, f := models[wi], factories[pi]
 		label := model.Name + "/" + f.Name
@@ -160,6 +194,9 @@ func ExecSweepT(sc Scale, trainNN bool, tel *Telemetry) *ExecSweepResult {
 		res.Avg[wi][pi], res.Tail[wi][pi] = r.Avg, r.Tail
 		tel.cellDone(total, label, r)
 	})
+	if err != nil {
+		return nil, err
+	}
 	for wi := range models {
 		res.NormAvg = append(res.NormAvg, stats.Normalize(res.Avg[wi], gaCol))
 		res.NormTail = append(res.NormTail, stats.Normalize(res.Tail[wi], gaCol))
@@ -167,7 +204,7 @@ func ExecSweepT(sc Scale, trainNN bool, tel *Telemetry) *ExecSweepResult {
 
 	res.MeanNormAvg = columnMeans(res.NormAvg)
 	res.MeanNormTail = columnMeans(res.NormTail)
-	return res
+	return res, nil
 }
 
 func columnMeans(m [][]float64) []float64 {
@@ -241,9 +278,19 @@ func MixedWorkloads(sc Scale, trainNN bool) *MixResult {
 
 // MixedWorkloadsT is MixedWorkloads with per-cell telemetry; tel may be nil.
 func MixedWorkloadsT(sc Scale, trainNN bool, tel *Telemetry) *MixResult {
+	r, _ := MixedWorkloadsCtx(context.Background(), sc, trainNN, tel)
+	return r
+}
+
+// MixedWorkloadsCtx is MixedWorkloadsT with cooperative cancellation checked
+// between sweep cells; see ExecSweepCtx.
+func MixedWorkloadsCtx(ctx context.Context, sc Scale, trainNN bool, tel *Telemetry) (*MixResult, error) {
 	var nnAgent *core.Agent
 	if trainNN {
-		nnAgent = TrainAPU(sc)
+		var err error
+		if nnAgent, err = TrainAPUCtx(ctx, sc); err != nil {
+			return nil, err
+		}
 		nnAgent.Freeze()
 	}
 	factories := apuFactories(nnAgent)
@@ -266,7 +313,7 @@ func MixedWorkloadsT(sc Scale, trainNN bool, tel *Telemetry) *MixResult {
 		res.Avg[high] = make([]float64, len(factories))
 	}
 	total := 5 * len(factories)
-	parallelFor(total, func(k int) {
+	err := parallelForCtx(ctx, total, func(k int) {
 		high, pi := k/len(factories), k%len(factories)
 		f := factories[pi]
 		label := fmt.Sprintf("%dL%dH/%s", 4-high, high, f.Name)
@@ -280,10 +327,13 @@ func MixedWorkloadsT(sc Scale, trainNN bool, tel *Telemetry) *MixResult {
 		res.Avg[high][pi] = r.Avg
 		tel.cellDone(total, label, r)
 	})
+	if err != nil {
+		return nil, err
+	}
 	for high := 0; high <= 4; high++ {
 		res.NormAvg = append(res.NormAvg, stats.Normalize(res.Avg[high], gaCol))
 	}
-	return res
+	return res, nil
 }
 
 // Render formats the Fig. 11 matrix.
@@ -315,6 +365,13 @@ func Ablation(sc Scale) *AblationResult {
 
 // AblationT is Ablation with per-cell telemetry; tel may be nil.
 func AblationT(sc Scale, tel *Telemetry) *AblationResult {
+	r, _ := AblationCtx(context.Background(), sc, tel)
+	return r
+}
+
+// AblationCtx is AblationT with cooperative cancellation checked between
+// sweep cells; see ExecSweepCtx.
+func AblationCtx(ctx context.Context, sc Scale, tel *Telemetry) (*AblationResult, error) {
 	variants := []struct {
 		name string
 		p    *core.RLInspiredAPU
@@ -335,7 +392,7 @@ func AblationT(sc Scale, tel *Telemetry) *AblationResult {
 		avgs[wi] = make([]float64, len(variants))
 	}
 	total := len(models) * len(variants)
-	parallelFor(total, func(k int) {
+	err := parallelForCtx(ctx, total, func(k int) {
 		wi, vi := k/len(variants), k%len(variants)
 		model, v := models[wi], variants[vi]
 		label := "ablation-" + model.Name + "/" + v.name
@@ -352,6 +409,9 @@ func AblationT(sc Scale, tel *Telemetry) *AblationResult {
 		avgs[wi][vi] = r.Avg
 		tel.cellDone(total, label, r)
 	})
+	if err != nil {
+		return nil, err
+	}
 	for wi := range models {
 		res.Norm = append(res.Norm, stats.Normalize(avgs[wi], 0))
 	}
@@ -369,7 +429,7 @@ func AblationT(sc Scale, tel *Telemetry) *AblationResult {
 	for v := range res.MeanIncrease {
 		res.MeanIncrease[v] /= float64(len(res.Norm))
 	}
-	return res
+	return res, nil
 }
 
 // Render formats the ablation matrix with the paper-style summary line.

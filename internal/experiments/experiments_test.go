@@ -1,10 +1,14 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"mlnoc/internal/rl"
+	"mlnoc/internal/synfull"
 )
 
 // tinyScale keeps integration tests fast while preserving the contention
@@ -193,6 +197,30 @@ func TestAblationShape(t *testing.T) {
 	}
 	if out := r.Render(); !strings.Contains(out, "ablation") {
 		t.Fatal("render missing title")
+	}
+}
+
+// TestAblationCtxCancellation checks the server-job contract on a real sweep
+// runner: cancelling the context after the first finished cell makes the
+// sweep return ctx.Err() promptly (without running every remaining cell)
+// instead of completing the whole grid.
+func TestAblationCtxCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var cells int32
+	tel := &Telemetry{Progress: func(done, total int, label string) {
+		atomic.AddInt32(&cells, 1)
+		cancel()
+	}}
+	r, err := AblationCtx(ctx, tinyScale(), tel)
+	if r != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned (%v, %v), want (nil, context.Canceled)", r, err)
+	}
+	total := int32(len(synfull.Catalog()) * 4)
+	if done := atomic.LoadInt32(&cells); done >= total {
+		t.Fatalf("cancelled sweep still ran all %d/%d cells", done, total)
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -72,6 +73,13 @@ func FaultSweep(sc Scale, tel *Telemetry) *FaultSweepResult {
 // so each policy faces the identical physical fault scenario and the whole
 // sweep is reproducible run to run.
 func FaultSweepRates(sc Scale, tel *Telemetry, rates []float64) *FaultSweepResult {
+	r, _ := FaultSweepRatesCtx(context.Background(), sc, tel, rates)
+	return r
+}
+
+// FaultSweepRatesCtx is FaultSweepRates with cooperative cancellation checked
+// between sweep cells; see ExecSweepCtx.
+func FaultSweepRatesCtx(ctx context.Context, sc Scale, tel *Telemetry, rates []float64) (*FaultSweepResult, error) {
 	res := &FaultSweepResult{Rates: append([]float64(nil), rates...)}
 
 	meshFs := meshFaultFactories()
@@ -109,7 +117,7 @@ func FaultSweepRates(sc Scale, tel *Telemetry, rates []float64) *FaultSweepResul
 		apuKillAt = 1
 	}
 
-	parallelFor(meshTotal, func(k int) {
+	err = parallelForCtx(ctx, meshTotal, func(k int) {
 		ri, pi := k/len(meshFs), k%len(meshFs)
 		f := meshFs[pi]
 		label := fmt.Sprintf("faults-mesh-%.0f%%/%s", 100*rates[ri], f.Name)
@@ -140,8 +148,11 @@ func FaultSweepRates(sc Scale, tel *Telemetry, rates []float64) *FaultSweepResul
 		}
 		tel.cellSnapshot(total, label, suite)
 	})
+	if err != nil {
+		return nil, err
+	}
 
-	parallelFor(apuTotal, func(k int) {
+	err = parallelForCtx(ctx, apuTotal, func(k int) {
 		ri, pi := k/len(apuFs), k%len(apuFs)
 		f := apuFs[pi]
 		label := fmt.Sprintf("faults-apu-%.0f%%/%s", 100*rates[ri], f.Name)
@@ -168,12 +179,15 @@ func FaultSweepRates(sc Scale, tel *Telemetry, rates []float64) *FaultSweepResul
 		}
 		tel.cellDone(total, label, r)
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	for ri := range rates {
 		res.MeshNorm = append(res.MeshNorm, stats.Normalize(res.MeshLatency[ri], meshGA))
 		res.APUNorm = append(res.APUNorm, stats.Normalize(res.APUAvg[ri], apuGA))
 	}
-	return res
+	return res, nil
 }
 
 func makeMatrix(rows, cols int) [][]float64 {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -38,6 +39,17 @@ func (p *CellPanic) String() string { return p.Error() }
 // the panic is re-raised on the caller's goroutine as a *CellPanic after all
 // workers finish.
 func parallelFor(n int, f func(i int)) {
+	// context.Background never cancels, so the error return is always nil.
+	_ = parallelForCtx(context.Background(), n, f)
+}
+
+// parallelForCtx is parallelFor with cooperative cancellation: ctx is checked
+// between cells, so a cancelled sweep stops dispatching promptly while cells
+// already in flight run to completion (cells are not preemptible — a partial
+// simulation has no meaningful result). It returns ctx.Err() when cancelled,
+// nil otherwise. Panic capture is identical to parallelFor and takes
+// precedence over cancellation.
+func parallelForCtx(ctx context.Context, n int, f func(i int)) error {
 	var (
 		panicOnce sync.Once
 		cellPanic *CellPanic
@@ -59,6 +71,9 @@ func parallelFor(n int, f func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
 			runCell(i)
 		}
 	} else {
@@ -69,12 +84,20 @@ func parallelFor(n int, f func(i int)) {
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					runCell(i)
+					// Drain the channel but skip the work once cancelled.
+					if ctx.Err() == nil {
+						runCell(i)
+					}
 				}
 			}()
 		}
+	feed:
 		for i := 0; i < n; i++ {
-			next <- i
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 		close(next)
 		wg.Wait()
@@ -82,4 +105,5 @@ func parallelFor(n int, f func(i int)) {
 	if cellPanic != nil {
 		panic(cellPanic)
 	}
+	return ctx.Err()
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"strings"
@@ -114,6 +115,83 @@ func TestParallelForZeroCells(t *testing.T) {
 	if called {
 		t.Fatal("cell function called for n=0")
 	}
+}
+
+// TestParallelForCtxCancelStopsDispatch checks the cooperative-cancellation
+// contract: once the context is cancelled mid-sweep, no new cells are
+// dispatched (cells in flight finish), and the call reports ctx.Err().
+func TestParallelForCtxCancelStopsDispatch(t *testing.T) {
+	const n = 1000
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := parallelForCtx(ctx, n, func(i int) {
+		if atomic.AddInt32(&ran, 1) == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// At most the cells already claimed by the worker pool when cancel landed
+	// can still run: that is bounded by the worker count, far below n.
+	if got := atomic.LoadInt32(&ran); int(got) >= n {
+		t.Fatalf("cancellation did not stop dispatch: %d/%d cells ran", got, n)
+	}
+}
+
+// TestParallelForCtxSerialCancel covers the workers<=1 serial path, where
+// cancellation is checked before every cell: exactly the cells before the
+// cancel run.
+func TestParallelForCtxSerialCancel(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := parallelForCtx(ctx, 1000, func(i int) {
+		ran++
+		if ran == 2 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d cells after serial cancel, want 2", ran)
+	}
+}
+
+// TestParallelForCtxUncancelled checks the nil-error baseline and that every
+// cell runs exactly once under a live context.
+func TestParallelForCtxUncancelled(t *testing.T) {
+	const n = 64
+	var counts [n]int32
+	if err := parallelForCtx(context.Background(), n, func(i int) {
+		atomic.AddInt32(&counts[i], 1)
+	}); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("cell %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestParallelForCtxPanicBeatsCancel checks a cell panic is still re-raised
+// as *CellPanic even when the sweep is also cancelled.
+func TestParallelForCtxPanicBeatsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer func() {
+		if _, ok := recover().(*CellPanic); !ok {
+			t.Fatal("panic during a cancelled sweep was not re-raised as *CellPanic")
+		}
+	}()
+	_ = parallelForCtx(ctx, 8, func(i int) {
+		cancel()
+		panic("boom")
+	})
+	t.Fatal("parallelForCtx returned instead of re-panicking")
 }
 
 // TestParallelForConcurrentCells checks cells genuinely overlap when workers

@@ -121,6 +121,47 @@ func TestSnapshotCSV(t *testing.T) {
 	}
 }
 
+// TestRegistryOnRecord checks the streaming seam: the hook sees every
+// snapshot with its name, after the registry stores it (so the hook can read
+// it back), and recording without a hook still works.
+func TestRegistryOnRecord(t *testing.T) {
+	reg := NewRegistry()
+	reg.Record("before-hook", &Snapshot{Cycle: 1}) // no hook installed: no-op
+
+	var mu sync.Mutex
+	seen := map[string]int64{}
+	reg.SetOnRecord(func(name string, s *Snapshot) {
+		mu.Lock()
+		defer mu.Unlock()
+		if got := reg.Get(name); got != s {
+			t.Errorf("hook for %q ran before the snapshot was stored", name)
+		}
+		seen[name] = s.Cycle
+	})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			reg.Record(string(rune('a'+w)), &Snapshot{Cycle: int64(w)})
+		}(w)
+	}
+	wg.Wait()
+
+	if len(seen) != 4 {
+		t.Fatalf("hook observed %d records, want 4: %v", len(seen), seen)
+	}
+	for w := 0; w < 4; w++ {
+		if seen[string(rune('a'+w))] != int64(w) {
+			t.Fatalf("hook saw wrong snapshot for %c: %v", 'a'+w, seen)
+		}
+	}
+	if _, ok := seen["before-hook"]; ok {
+		t.Fatal("hook retroactively saw a record from before installation")
+	}
+}
+
 func TestRegistryConcurrentRecord(t *testing.T) {
 	reg := NewRegistry()
 	var wg sync.WaitGroup

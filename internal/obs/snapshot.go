@@ -183,10 +183,11 @@ func (s *Snapshot) appendCSV(b *strings.Builder, prefix string) {
 // Registry collects named snapshots from concurrent runs (one per experiment
 // sweep cell). All methods are safe for concurrent use.
 type Registry struct {
-	mu      sync.Mutex
-	snaps   map[string]*Snapshot
-	seed    int64
-	hasSeed bool
+	mu       sync.Mutex
+	snaps    map[string]*Snapshot
+	seed     int64
+	hasSeed  bool
+	onRecord func(name string, s *Snapshot)
 }
 
 // NewRegistry returns an empty registry.
@@ -203,12 +204,29 @@ func (g *Registry) SetSeed(seed int64) {
 	g.hasSeed = true
 }
 
-// Record stores a snapshot under name, replacing any previous snapshot with
-// the same name.
-func (g *Registry) Record(name string, s *Snapshot) {
+// SetOnRecord installs a hook that observes every snapshot as it is
+// recorded, after it is stored. It is the registry's streaming seam: a
+// long-running server forwards each sweep cell's snapshot to live
+// subscribers (SSE) the moment the cell finishes instead of polling the
+// registry. The hook runs on the recording goroutine — with parallel sweep
+// cells that means concurrently — and outside the registry lock, so it may
+// call back into the registry but must be concurrency-safe itself.
+func (g *Registry) SetOnRecord(f func(name string, s *Snapshot)) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.onRecord = f
+}
+
+// Record stores a snapshot under name, replacing any previous snapshot with
+// the same name, then invokes the OnRecord hook when one is installed.
+func (g *Registry) Record(name string, s *Snapshot) {
+	g.mu.Lock()
 	g.snaps[name] = s
+	f := g.onRecord
+	g.mu.Unlock()
+	if f != nil {
+		f(name, s)
+	}
 }
 
 // Get returns the snapshot recorded under name, or nil.

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"container/list"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// cache is the result cache: an in-memory LRU over job-hash keys with
+// optional write-through disk spill. Because the engine is deterministic,
+// a hash hit can return the stored payload verbatim — byte-identical to
+// re-running the job — so the cache is an exact substitute for simulation,
+// not an approximation.
+//
+// With a spill directory configured every payload is also written to
+// <dir>/<hash>.json (hashes are hex, so the name is filesystem-safe); an
+// entry evicted from memory is then still served from disk, and a restarted
+// daemon warms up from the artifacts of its previous life.
+type cache struct {
+	mu      sync.Mutex
+	max     int
+	dir     string
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	hash    string
+	payload []byte
+}
+
+func newCache(maxEntries int, dir string) *cache {
+	return &cache{
+		max:     maxEntries,
+		dir:     dir,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Get returns the payload cached under hash. Memory first, then the spill
+// directory (promoting the entry back into memory).
+func (c *cache) Get(hash string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[hash]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		payload := el.Value.(*cacheEntry).payload
+		c.mu.Unlock()
+		return payload, true
+	}
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		if payload, err := os.ReadFile(c.spillPath(hash)); err == nil {
+			c.mu.Lock()
+			c.hits++
+			c.putLocked(hash, payload)
+			c.mu.Unlock()
+			return payload, true
+		}
+	}
+
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put stores payload under hash and spills it to disk when configured.
+// Spill failures are ignored: the disk copy is an optimization, the
+// in-memory entry is already live.
+func (c *cache) Put(hash string, payload []byte) {
+	c.mu.Lock()
+	c.putLocked(hash, payload)
+	c.mu.Unlock()
+	if c.dir != "" {
+		_ = os.WriteFile(c.spillPath(hash), payload, 0o644)
+	}
+}
+
+func (c *cache) putLocked(hash string, payload []byte) {
+	if el, ok := c.entries[hash]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).payload = payload
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{hash: hash, payload: payload})
+	c.entries[hash] = el
+	for len(c.entries) > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).hash)
+	}
+}
+
+// Stats returns cumulative hit/miss counters and the live entry count.
+func (c *cache) Stats() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}
+
+func (c *cache) spillPath(hash string) string {
+	return filepath.Join(c.dir, hash+".json")
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// runFunc executes one claimed job and returns its result payload. The
+// context is cancelled when the job or the whole pool is cancelled.
+type runFunc func(ctx context.Context, job *Job) ([]byte, error)
+
+// pool is the bounded worker pool: exactly `workers` goroutines pull jobs off
+// the queue, so at most that many simulations run simultaneously no matter
+// how many jobs are submitted. Each job runs under its own child context
+// (per-job cancellation), with panic capture in the spirit of the sweep
+// runner's CellPanic — a crashing job becomes a failed job with a stack
+// trace, never a crashed daemon.
+type pool struct {
+	q       *queue
+	run     runFunc
+	done    func(*Job) // invoked after each job the pool finalizes (may be nil)
+	workers int
+	busy    atomic.Int64
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// startPool launches the workers.
+func startPool(q *queue, workers int, run runFunc, done func(*Job)) *pool {
+	p := &pool{q: q, run: run, done: done, workers: workers}
+	p.ctx, p.cancel = context.WithCancel(context.Background())
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.work()
+		}()
+	}
+	return p
+}
+
+// Busy returns how many workers are executing a job right now.
+func (p *pool) Busy() int { return int(p.busy.Load()) }
+
+// Drain performs the graceful half of shutdown: close the queue (returning
+// the jobs that never started, which the caller marks cancelled) and wait
+// for running jobs to finish. It does not cancel running work.
+func (p *pool) Drain() []*Job {
+	rest := p.q.Close()
+	p.wg.Wait()
+	return rest
+}
+
+// Kill cancels running jobs' contexts and then drains. Used for hard
+// shutdown (second signal).
+func (p *pool) Kill() []*Job {
+	p.cancel()
+	return p.Drain()
+}
+
+func (p *pool) work() {
+	for {
+		job := p.q.Pop()
+		if job == nil {
+			return
+		}
+		p.execute(job)
+	}
+}
+
+// execute runs one job start-to-finish.
+func (p *pool) execute(job *Job) {
+	ctx, cancel := context.WithCancel(p.ctx)
+	defer cancel()
+	if !job.start(cancel, time.Now()) {
+		return // cancelled while queued
+	}
+	p.busy.Add(1)
+	defer p.busy.Add(-1)
+
+	payload, err := p.runSafely(ctx, job)
+	now := time.Now()
+	switch {
+	case err == nil:
+		job.finish(StateDone, payload, "", now)
+	case ctx.Err() != nil:
+		job.finish(StateCancelled, nil, err.Error(), now)
+	default:
+		job.finish(StateFailed, nil, err.Error(), now)
+	}
+	if p.done != nil {
+		p.done(job)
+	}
+}
+
+// runSafely invokes the runner with panic capture: the panic value and stack
+// become the job's error, mirroring experiments.CellPanic.
+func (p *pool) runSafely(ctx context.Context, job *Job) (payload []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job %s panicked: %v\n%s", job.ID, r, debug.Stack())
+		}
+	}()
+	return p.run(ctx, job)
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// queue is a bounded, closeable priority queue of jobs: higher Spec.Priority
+// first, FIFO (submission order) within a priority. Push fails fast when the
+// queue is full — the server turns that into a 503 so callers get backpressure
+// instead of unbounded memory growth. Pop blocks until a job or close.
+type queue struct {
+	mu     sync.Mutex
+	nonEmp *sync.Cond
+	items  jobHeap
+	seq    int64
+	max    int
+	closed bool
+}
+
+func newQueue(max int) *queue {
+	q := &queue{max: max}
+	q.nonEmp = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues j. It reports false when the queue is full or closed.
+func (q *queue) Push(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.items) >= q.max {
+		return false
+	}
+	q.seq++
+	heap.Push(&q.items, queued{job: j, seq: q.seq})
+	q.nonEmp.Signal()
+	return true
+}
+
+// Pop blocks until a job is available and returns it, or returns nil once
+// the queue is closed and empty.
+func (q *queue) Pop() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.nonEmp.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.items).(queued).job
+}
+
+// Close stops the queue: pending jobs are returned (so the server can mark
+// them cancelled during a drain) and every blocked Pop wakes up with nil.
+func (q *queue) Close() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	var rest []*Job
+	for len(q.items) > 0 {
+		rest = append(rest, heap.Pop(&q.items).(queued).job)
+	}
+	q.nonEmp.Broadcast()
+	return rest
+}
+
+// Len returns the current queue depth.
+func (q *queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// queued is one heap entry; seq breaks priority ties FIFO.
+type queued struct {
+	job *Job
+	seq int64
+}
+
+// jobHeap implements heap.Interface: max-priority, then min-seq.
+type jobHeap []queued
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(a, b int) bool {
+	pa, pb := h[a].job.Spec.Priority, h[b].job.Spec.Priority
+	if pa != pb {
+		return pa > pb
+	}
+	return h[a].seq < h[b].seq
+}
+func (h jobHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+
+func (h *jobHeap) Push(x any) { *h = append(*h, x.(queued)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = queued{}
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,494 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const specQuant = `{"type":"quant"}`
+
+// postJob submits a spec and returns the response status code and decoded
+// status document.
+func postJob(t *testing.T, h http.Handler, spec string) (int, StatusDoc) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/jobs", strings.NewReader(spec)))
+	var doc StatusDoc
+	if rec.Code == http.StatusOK || rec.Code == http.StatusAccepted {
+		if err := json.NewDecoder(rec.Body).Decode(&doc); err != nil {
+			t.Fatalf("decode submit response: %v", err)
+		}
+	}
+	return rec.Code, doc
+}
+
+func get(h http.Handler, path string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+// waitState polls until the job reaches want or the deadline passes.
+func waitState(t *testing.T, job *Job, want State) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if job.State() == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s stuck in %s, want %s", job.ID, job.State(), want)
+}
+
+// countingRunner returns a deterministic payload derived from the spec and
+// counts invocations.
+func countingRunner(runs *atomic.Int64) runFunc {
+	return func(_ context.Context, job *Job) ([]byte, error) {
+		runs.Add(1)
+		return json.Marshal(map[string]any{"hash": job.Hash, "seed": job.Spec.EffectiveSeed()})
+	}
+}
+
+// blockingRunner blocks each job until release is closed (or its context is
+// cancelled), recording execution order.
+type blockingRunner struct {
+	mu      sync.Mutex
+	order   []string
+	started chan string
+	release chan struct{}
+}
+
+func newBlockingRunner() *blockingRunner {
+	return &blockingRunner{started: make(chan string, 64), release: make(chan struct{})}
+}
+
+func (b *blockingRunner) run(ctx context.Context, job *Job) ([]byte, error) {
+	b.mu.Lock()
+	b.order = append(b.order, job.ID)
+	b.mu.Unlock()
+	b.started <- job.ID
+	select {
+	case <-b.release:
+		return []byte(`{"ok":true}`), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (b *blockingRunner) ran() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]string(nil), b.order...)
+}
+
+// The tentpole cache property: submitting the same deterministic job twice
+// returns the second instantly from cache, with a byte-identical payload.
+func TestCacheHitByteIdentical(t *testing.T) {
+	var runs atomic.Int64
+	s := New(Config{Workers: 1, Runner: countingRunner(&runs)})
+	defer s.Drain()
+	h := s.Handler()
+
+	code, doc := postJob(t, h, specQuant)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: code %d, want 202", code)
+	}
+	if doc.Cached {
+		t.Fatal("first submit claims cached")
+	}
+	waitState(t, s.lookup(doc.ID), StateDone)
+	first := get(h, "/jobs/"+doc.ID+"/result")
+
+	code2, doc2 := postJob(t, h, specQuant)
+	if code2 != http.StatusOK {
+		t.Fatalf("second submit: code %d, want 200 (cached)", code2)
+	}
+	if !doc2.Cached {
+		t.Fatal("second submit of identical job was not served from cache")
+	}
+	if doc2.Hash != doc.Hash {
+		t.Fatalf("hash mismatch: %s vs %s", doc2.Hash, doc.Hash)
+	}
+	second := get(h, "/jobs/"+doc2.ID+"/result")
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatalf("cached payload not byte-identical:\n%s\n%s", first.Body, second.Body)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("runner invoked %d times, want 1", runs.Load())
+	}
+}
+
+// A different seed is a different job: it must re-execute, not hit the cache.
+func TestDifferentSeedReexecutes(t *testing.T) {
+	var runs atomic.Int64
+	s := New(Config{Workers: 1, Runner: countingRunner(&runs)})
+	defer s.Drain()
+	h := s.Handler()
+
+	_, doc1 := postJob(t, h, `{"type":"quant","seed":1}`)
+	waitState(t, s.lookup(doc1.ID), StateDone)
+	code, doc2 := postJob(t, h, `{"type":"quant","seed":2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("different-seed submit: code %d, want 202 (fresh run)", code)
+	}
+	if doc2.Cached {
+		t.Fatal("different seed was served from cache")
+	}
+	waitState(t, s.lookup(doc2.ID), StateDone)
+	if runs.Load() != 2 {
+		t.Fatalf("runner invoked %d times, want 2", runs.Load())
+	}
+	if doc1.Hash == doc2.Hash {
+		t.Fatal("different seeds produced the same hash")
+	}
+}
+
+// With N workers, at most N jobs run simultaneously regardless of the number
+// submitted.
+func TestConcurrencyBoundedByWorkers(t *testing.T) {
+	const workers = 2
+	br := newBlockingRunner()
+	s := New(Config{Workers: workers, QueueDepth: 16, Runner: br.run})
+	h := s.Handler()
+
+	var docs []StatusDoc
+	for seed := 1; seed <= 5; seed++ {
+		code, doc := postJob(t, h, fmt.Sprintf(`{"type":"quant","seed":%d}`, seed))
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: code %d", seed, code)
+		}
+		docs = append(docs, doc)
+	}
+	// Exactly `workers` jobs start; the rest stay queued.
+	for i := 0; i < workers; i++ {
+		<-br.started
+	}
+	// Give a third job every chance to (incorrectly) start.
+	time.Sleep(50 * time.Millisecond)
+	if busy := s.pool.Busy(); busy != workers {
+		t.Fatalf("%d jobs running, want exactly %d", busy, workers)
+	}
+	select {
+	case id := <-br.started:
+		t.Fatalf("job %s started beyond the worker bound", id)
+	default:
+	}
+	close(br.release)
+	for _, d := range docs {
+		waitState(t, s.lookup(d.ID), StateDone)
+	}
+	s.Drain()
+}
+
+// Higher-priority jobs jump the queue; equal priorities stay FIFO.
+func TestPriorityOrdering(t *testing.T) {
+	br := newBlockingRunner()
+	s := New(Config{Workers: 1, QueueDepth: 16, Runner: br.run})
+	h := s.Handler()
+
+	_, gate := postJob(t, h, `{"type":"quant","seed":10}`) // occupies the worker
+	<-br.started
+	_, low1 := postJob(t, h, `{"type":"quant","seed":11}`)
+	_, low2 := postJob(t, h, `{"type":"quant","seed":12}`)
+	_, high := postJob(t, h, `{"type":"quant","seed":13,"priority":5}`)
+	close(br.release)
+	for _, d := range []StatusDoc{gate, low1, low2, high} {
+		waitState(t, s.lookup(d.ID), StateDone)
+	}
+	want := []string{gate.ID, high.ID, low1.ID, low2.ID}
+	got := br.ran()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("execution order %v, want %v", got, want)
+	}
+	s.Drain()
+}
+
+// Drain finishes running jobs, cancels queued ones, and rejects new
+// submissions with 503.
+func TestDrainGraceful(t *testing.T) {
+	br := newBlockingRunner()
+	s := New(Config{Workers: 1, QueueDepth: 16, Runner: br.run})
+	h := s.Handler()
+
+	_, running := postJob(t, h, `{"type":"quant","seed":1}`)
+	<-br.started
+	_, queued := postJob(t, h, `{"type":"quant","seed":2}`)
+
+	drained := make(chan struct{})
+	go func() {
+		s.Drain()
+		close(drained)
+	}()
+	// Draining flips immediately; new submissions bounce even while the
+	// running job is still going.
+	deadline := time.Now().Add(2 * time.Second)
+	for !s.Draining() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if code, _ := postJob(t, h, `{"type":"quant","seed":3}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain: code %d, want 503", code)
+	}
+	if rec := get(h, "/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain: code %d, want 503", rec.Code)
+	}
+	close(br.release)
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not return after the running job finished")
+	}
+	if st := s.lookup(running.ID).State(); st != StateDone {
+		t.Errorf("running job ended %s, want done (drain must not kill it)", st)
+	}
+	if st := s.lookup(queued.ID).State(); st != StateCancelled {
+		t.Errorf("queued job ended %s, want cancelled", st)
+	}
+}
+
+// A full queue rejects submissions instead of growing without bound.
+func TestQueueFullRejects(t *testing.T) {
+	br := newBlockingRunner()
+	s := New(Config{Workers: 1, QueueDepth: 1, Runner: br.run})
+	h := s.Handler()
+
+	postJob(t, h, `{"type":"quant","seed":1}`) // running
+	<-br.started
+	postJob(t, h, `{"type":"quant","seed":2}`) // queued (fills the queue)
+	code, _ := postJob(t, h, `{"type":"quant","seed":3}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("submit to full queue: code %d, want 503", code)
+	}
+	close(br.release)
+	s.Drain()
+}
+
+// Cancelling a queued job finalizes it without ever running it.
+func TestCancelQueuedJob(t *testing.T) {
+	br := newBlockingRunner()
+	s := New(Config{Workers: 1, QueueDepth: 16, Runner: br.run})
+	h := s.Handler()
+
+	_, running := postJob(t, h, `{"type":"quant","seed":1}`)
+	<-br.started
+	_, queued := postJob(t, h, `{"type":"quant","seed":2}`)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/jobs/"+queued.ID+"/cancel", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cancel: code %d", rec.Code)
+	}
+	if st := s.lookup(queued.ID).State(); st != StateCancelled {
+		t.Fatalf("cancelled queued job is %s", st)
+	}
+	close(br.release)
+	waitState(t, s.lookup(running.ID), StateDone)
+	for _, id := range br.ran() {
+		if id == queued.ID {
+			t.Fatal("cancelled job was executed anyway")
+		}
+	}
+	s.Drain()
+}
+
+// Cancelling a running job cancels its context; the pool finalizes it as
+// cancelled, not failed.
+func TestCancelRunningJob(t *testing.T) {
+	br := newBlockingRunner()
+	s := New(Config{Workers: 1, Runner: br.run})
+	h := s.Handler()
+
+	_, doc := postJob(t, h, specQuant)
+	<-br.started
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/jobs/"+doc.ID+"/cancel", nil))
+	waitState(t, s.lookup(doc.ID), StateCancelled)
+	s.Drain()
+}
+
+// A panicking job becomes a failed job with the panic in its error; the
+// daemon survives.
+func TestJobPanicCaptured(t *testing.T) {
+	s := New(Config{Workers: 1, Runner: func(context.Context, *Job) ([]byte, error) {
+		panic("router exploded")
+	}})
+	defer s.Drain()
+	h := s.Handler()
+
+	_, doc := postJob(t, h, specQuant)
+	waitState(t, s.lookup(doc.ID), StateFailed)
+	st := s.lookup(doc.ID).Status()
+	if !strings.Contains(st.Error, "router exploded") {
+		t.Fatalf("panic not captured in job error: %q", st.Error)
+	}
+	rec := get(h, "/jobs/"+doc.ID+"/result")
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("result of failed job: code %d, want 500", rec.Code)
+	}
+	// The daemon still serves.
+	if rec := get(h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("/healthz after panic: code %d", rec.Code)
+	}
+}
+
+// /readyz flips unhealthy while a running job has watchdog alerts and
+// recovers once the job finishes.
+func TestReadyzFlipsOnWatchdogAlert(t *testing.T) {
+	br := newBlockingRunner()
+	s := New(Config{Workers: 1, Runner: func(ctx context.Context, job *Job) ([]byte, error) {
+		job.addAlert("cycle 512: livelock: no deliveries for 512 cycles with 9 messages in flight")
+		return br.run(ctx, job)
+	}})
+	h := s.Handler()
+
+	if rec := get(h, "/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("/readyz idle: code %d, want 200", rec.Code)
+	}
+	_, doc := postJob(t, h, specQuant)
+	<-br.started
+	rec := get(h, "/readyz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with alerting job: code %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "livelock") {
+		t.Fatalf("/readyz body does not name the alert: %s", rec.Body)
+	}
+	close(br.release)
+	waitState(t, s.lookup(doc.ID), StateDone)
+	if rec := get(h, "/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("/readyz after job finished: code %d, want 200", rec.Code)
+	}
+	s.Drain()
+}
+
+// The SSE stream carries the status replay, progress events, and the
+// terminal status, then ends.
+func TestStreamEvents(t *testing.T) {
+	release := make(chan struct{})
+	s := New(Config{Workers: 1, Runner: func(_ context.Context, job *Job) ([]byte, error) {
+		<-release
+		job.setProgress(1, 2, "cell-a")
+		job.setProgress(2, 2, "cell-b")
+		return []byte(`{}`), nil
+	}})
+	defer s.Drain()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	_, doc := postJob(t, s.Handler(), specQuant)
+	resp, err := http.Get(srv.URL + "/jobs/" + doc.ID + "/stream")
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	defer resp.Body.Close()
+	close(release)
+
+	kinds := map[string]int{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if name, ok := strings.CutPrefix(sc.Text(), "event: "); ok {
+			kinds[name]++
+		}
+	}
+	if kinds["status"] < 2 { // replay on connect + terminal transition
+		t.Errorf("saw %d status events, want >= 2", kinds["status"])
+	}
+	if kinds["progress"] != 2 {
+		t.Errorf("saw %d progress events, want 2", kinds["progress"])
+	}
+}
+
+// /metrics exposes the counters the smoke test greps for.
+func TestMetricsRender(t *testing.T) {
+	var runs atomic.Int64
+	s := New(Config{Workers: 1, Runner: countingRunner(&runs)})
+	defer s.Drain()
+	h := s.Handler()
+
+	_, doc := postJob(t, h, specQuant)
+	waitState(t, s.lookup(doc.ID), StateDone)
+	postJob(t, h, specQuant) // cache hit
+
+	body := get(h, "/metrics").Body.String()
+	for _, want := range []string{
+		"jobs_submitted 2", "jobs_done 2", "cache_hits 1", "cache_misses 1",
+		"workers 1", "draining 0", "job_latency_ms{type=quant}",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// A disk spill directory survives a daemon restart: the second daemon serves
+// the first daemon's results from disk.
+func TestCacheDiskSpillAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	var runs atomic.Int64
+
+	s1 := New(Config{Workers: 1, CacheDir: dir, Runner: countingRunner(&runs)})
+	_, doc := postJob(t, s1.Handler(), specQuant)
+	waitState(t, s1.lookup(doc.ID), StateDone)
+	first := get(s1.Handler(), "/jobs/"+doc.ID+"/result").Body.Bytes()
+	s1.Drain()
+
+	s2 := New(Config{Workers: 1, CacheDir: dir, Runner: countingRunner(&runs)})
+	defer s2.Drain()
+	code, doc2 := postJob(t, s2.Handler(), specQuant)
+	if code != http.StatusOK || !doc2.Cached {
+		t.Fatalf("restarted daemon missed the disk cache (code %d, cached %v)", code, doc2.Cached)
+	}
+	second := get(s2.Handler(), "/jobs/"+doc2.ID+"/result").Body.Bytes()
+	if !bytes.Equal(first, second) {
+		t.Fatal("disk-spilled payload not byte-identical")
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("runner invoked %d times across restart, want 1", runs.Load())
+	}
+}
+
+// End-to-end over the real engine: a tiny ablation sweep through Execute,
+// twice, must cache-hit with byte-identical output. This is the in-process
+// version of the CI smoke test.
+func TestEndToEndTinySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (tiny) simulation sweep")
+	}
+	s := New(Config{Workers: 1})
+	defer s.Drain()
+	h := s.Handler()
+
+	spec := `{"type":"sweep","sweep":{"experiment":"ablation"},"scale":{"op_scale":0.1,"warmup_cycles":200,"measure_cycles":400}}`
+	code, doc := postJob(t, h, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code %d", code)
+	}
+	waitState(t, s.lookup(doc.ID), StateDone)
+	first := get(h, "/jobs/"+doc.ID+"/result")
+
+	var res resultDoc
+	if err := json.Unmarshal(first.Body.Bytes(), &res); err != nil {
+		t.Fatalf("result payload: %v", err)
+	}
+	if res.Rendered == "" || res.CSV["ablation.csv"] == "" {
+		t.Fatal("result payload missing rendered table or CSV")
+	}
+
+	code2, doc2 := postJob(t, h, spec)
+	if code2 != http.StatusOK || !doc2.Cached {
+		t.Fatalf("second identical sweep not cached (code %d)", code2)
+	}
+	second := get(h, "/jobs/"+doc2.ID+"/result")
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("real sweep results not byte-identical across cache hit")
+	}
+}

@@ -1,0 +1,438 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mlnoc/internal/experiments"
+	"mlnoc/internal/obs"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field has a
+// sensible default.
+type Config struct {
+	// Workers bounds how many jobs run simultaneously (default NumCPU).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs; a full
+	// queue rejects submissions with 503 (default 64).
+	QueueDepth int
+	// CacheEntries bounds the in-memory result cache (default 128).
+	CacheEntries int
+	// CacheDir, when non-empty, spills every result to <dir>/<hash>.json and
+	// serves cache misses from it.
+	CacheDir string
+	// Watchdog, when non-nil, attaches a starvation/livelock watchdog to
+	// every job's cells; its alerts flip /readyz unready while the job runs.
+	Watchdog *obs.WatchdogConfig
+	// Runner overrides the job executor (tests). Nil means Execute.
+	Runner runFunc
+}
+
+// Server is the simulation-as-a-service daemon core: the job registry, the
+// worker pool, the result cache and the HTTP handlers. Create with New, serve
+// Handler(), shut down with Drain (graceful) or Kill (hard).
+type Server struct {
+	cfg      Config
+	q        *queue
+	pool     *pool
+	cache    *cache
+	met      *metrics
+	draining atomic.Bool
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID int
+}
+
+// New builds a Server and starts its workers.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 128
+	}
+	s := &Server{
+		cfg:   cfg,
+		q:     newQueue(cfg.QueueDepth),
+		cache: newCache(cfg.CacheEntries, cfg.CacheDir),
+		met:   newMetrics(),
+		jobs:  make(map[string]*Job),
+	}
+	run := cfg.Runner
+	if run == nil {
+		run = s.runJob
+	}
+	// Cache successful payloads before the pool finalizes the job: a client
+	// that polls a job to done and instantly resubmits must hit the cache.
+	cached := func(ctx context.Context, job *Job) ([]byte, error) {
+		payload, err := run(ctx, job)
+		if err == nil && ctx.Err() == nil {
+			s.cache.Put(job.Hash, payload)
+		}
+		return payload, err
+	}
+	s.pool = startPool(s.q, cfg.Workers, cached, s.jobDone)
+	return s
+}
+
+// runJob is the production runFunc: it wires the job's live telemetry
+// (progress, obs snapshots, watchdog alerts) and executes the spec.
+func (s *Server) runJob(ctx context.Context, job *Job) ([]byte, error) {
+	tel := &experiments.Telemetry{
+		Progress: func(done, total int, label string) {
+			job.setProgress(done, total, label)
+		},
+	}
+	reg := obs.NewRegistry()
+	reg.SetOnRecord(func(name string, snap *obs.Snapshot) {
+		job.publish(Event{Kind: "snapshot", Data: snapshotSummary{
+			Cell:       name,
+			Cycle:      snap.Cycle,
+			Injected:   snap.Injected,
+			Delivered:  snap.Delivered,
+			InFlight:   snap.InFlight,
+			LatencyP50: snap.LatencyP50,
+			LatencyP99: snap.LatencyP99,
+			Alerts:     len(snap.Alerts),
+		}})
+	})
+	tel.Registry = reg
+	if s.cfg.Watchdog != nil {
+		wd := *s.cfg.Watchdog
+		prev := wd.OnAlert
+		wd.OnAlert = func(a obs.Alert) {
+			if prev != nil {
+				prev(a)
+			}
+			job.addAlert(a.String())
+		}
+		tel.Watchdog = &wd
+	}
+	return Execute(ctx, job.Spec, tel)
+}
+
+// snapshotSummary is the compact per-cell obs view sent on job streams; the
+// full snapshot stays in the per-job registry, the stream is a progress feed.
+type snapshotSummary struct {
+	Cell       string  `json:"cell"`
+	Cycle      int64   `json:"cycle"`
+	Injected   int64   `json:"injected"`
+	Delivered  int64   `json:"delivered"`
+	InFlight   int64   `json:"in_flight"`
+	LatencyP50 float64 `json:"latency_p50,omitempty"`
+	LatencyP99 float64 `json:"latency_p99,omitempty"`
+	Alerts     int     `json:"alerts,omitempty"`
+}
+
+// jobDone is the pool's completion hook: it records terminal metrics.
+func (s *Server) jobDone(job *Job) {
+	s.met.jobFinished(job.Spec.Type, job.State(), job.elapsed())
+}
+
+// elapsed is the job's execution time (zero until it finished).
+func (j *Job) elapsed() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started.IsZero() || j.finished.IsZero() {
+		return 0
+	}
+	return j.finished.Sub(j.started)
+}
+
+// Drain is graceful shutdown: stop accepting jobs, cancel everything still
+// queued, and wait for running jobs to finish.
+func (s *Server) Drain() {
+	if !s.draining.CompareAndSwap(false, true) {
+		return
+	}
+	s.finalizeQueued(s.pool.Drain())
+}
+
+// Kill is hard shutdown: like Drain but running jobs' contexts are cancelled
+// instead of waited out.
+func (s *Server) Kill() {
+	if !s.draining.CompareAndSwap(false, true) {
+		s.pool.cancel()
+		return
+	}
+	s.finalizeQueued(s.pool.Kill())
+}
+
+func (s *Server) finalizeQueued(jobs []*Job) {
+	now := time.Now()
+	for _, j := range jobs {
+		j.finish(StateCancelled, nil, "daemon draining", now)
+		s.met.jobFinished(j.Spec.Type, StateCancelled, 0)
+	}
+}
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// register mints an ID and adds the job to the registry.
+func (s *Server) register(spec *Spec, now time.Time) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	job := newJob(fmt.Sprintf("j%06d", s.nextID), spec, now)
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	return job
+}
+
+// lookup returns the job with the given ID.
+func (s *Server) lookup(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// snapshotJobs returns all jobs in submission order.
+func (s *Server) snapshotJobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Submit runs the full submission flow (validation already done by the
+// caller): cache lookup, then enqueue. The error is non-nil only when the
+// daemon cannot accept the job (draining or queue full).
+func (s *Server) Submit(spec *Spec) (*Job, error) {
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	now := time.Now()
+	s.met.jobSubmitted()
+	hash := spec.Hash()
+	if payload, ok := s.cache.Get(hash); ok {
+		job := s.register(spec, now)
+		job.completeCached(payload, now)
+		s.met.jobFinished(spec.Type, StateDone, 0)
+		return job, nil
+	}
+	job := s.register(spec, now)
+	if !s.q.Push(job) {
+		job.finish(StateFailed, nil, "queue full", now)
+		s.met.jobFinished(spec.Type, StateFailed, 0)
+		return nil, errQueueFull
+	}
+	return job, nil
+}
+
+var (
+	errDraining  = fmt.Errorf("daemon is draining, not accepting jobs")
+	errQueueFull = fmt.Errorf("job queue is full")
+)
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.route("submit", s.handleSubmit))
+	mux.HandleFunc("GET /jobs", s.route("list", s.handleList))
+	mux.HandleFunc("GET /jobs/{id}", s.route("status", s.handleStatus))
+	mux.HandleFunc("GET /jobs/{id}/result", s.route("result", s.handleResult))
+	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream) // long-lived; not latency-tracked
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.route("cancel", s.handleCancel))
+	mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.route("readyz", s.handleReadyz))
+	mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
+	return mux
+}
+
+// route wraps a handler with per-route latency tracking.
+func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.met.httpObserved(name, time.Since(start))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	spec, err := ParseSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case err != nil:
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case job.Cached():
+		writeJSON(w, http.StatusOK, job.Status())
+	default:
+		writeJSON(w, http.StatusAccepted, job.Status())
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.snapshotJobs()
+	docs := make([]StatusDoc, len(jobs))
+	for i, j := range jobs {
+		docs[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, docs)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	st := job.Status()
+	switch st.State {
+	case StateDone:
+		payload, _ := job.Result()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(payload)
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, st.Error)
+	default:
+		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s, not done", st.State))
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	was := job.State()
+	job.Cancel(time.Now())
+	if was == StateQueued && job.State() == StateCancelled {
+		s.met.jobFinished(job.Spec.Type, StateCancelled, 0)
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleStream serves the job's live event feed as server-sent events: one
+// "status" replay on connect, then progress / snapshot / alert / status
+// events until the job reaches a terminal state or the client disconnects.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	// Subscribe before flushing headers: once the client sees a 200 it must
+	// not be able to miss events published from that point on.
+	events, unsubscribe := job.Subscribe()
+	defer unsubscribe()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for {
+		select {
+		case ev, open := <-events:
+			if !open {
+				return
+			}
+			data, err := json.Marshal(ev.Data)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz maps daemon state onto readiness: draining, a saturated
+// queue, or a running job whose watchdog has raised alerts (starvation or
+// livelock in flight) all report unready.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if s.q.Len() >= s.cfg.QueueDepth {
+		writeError(w, http.StatusServiceUnavailable, "queue full")
+		return
+	}
+	for _, j := range s.snapshotJobs() {
+		if j.State() != StateRunning {
+			continue
+		}
+		if alerts := j.Alerts(); len(alerts) > 0 {
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("job %s watchdog: %s", j.ID, alerts[len(alerts)-1]))
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	hits, misses, entries := s.cache.Stats()
+	g := gauges{
+		queued:      s.q.Len(),
+		running:     s.pool.Busy(),
+		workers:     s.cfg.Workers,
+		cacheHits:   hits,
+		cacheMisses: misses,
+		cacheSize:   entries,
+		draining:    s.draining.Load(),
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, s.met.render(g))
+}

@@ -170,6 +170,19 @@ func (h *Histogram) Bin(i int) int64 { return h.bins[i] }
 // Overflow returns the count of samples beyond the last bin.
 func (h *Histogram) Overflow() int64 { return h.overflow }
 
+// Summary renders the histogram as one metrics-style line:
+// "count=N mean=M p50=A p95=B p99=C max=D" (values in the sample's unit,
+// quantiles bin-interpolated). An empty histogram reports "count=0". It is
+// the text format the serving daemon's /metrics endpoint exposes per
+// job-type latency histogram.
+func (h *Histogram) Summary() string {
+	if h.Count() == 0 {
+		return "count=0"
+	}
+	return fmt.Sprintf("count=%d mean=%.3g p50=%.3g p95=%.3g p99=%.3g max=%.3g",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+}
+
 // Percentile returns an upper bound estimate of the p-th percentile
 // (0 < p <= 100) using bin upper edges. Overflowed samples report the exact
 // observed maximum.

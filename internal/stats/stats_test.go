@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -168,6 +169,24 @@ func TestHistogram(t *testing.T) {
 	}
 	if p := h.Percentile(100); p != 99 {
 		t.Fatalf("P100 = %v, want 99 (exact max)", p)
+	}
+}
+
+// TestHistogramSummary pins the /metrics text shape: key=value pairs with
+// count, mean, interpolated quantiles and the exact max.
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram(10, 5)
+	if got := h.Summary(); got != "count=0" {
+		t.Fatalf("empty Summary = %q", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i % 50))
+	}
+	s := h.Summary()
+	for _, key := range []string{"count=100", "mean=", "p50=", "p95=", "p99=", "max=49"} {
+		if !strings.Contains(s, key) {
+			t.Fatalf("Summary %q missing %q", s, key)
+		}
 	}
 }
 
