@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test race vet fmt verify bench bench-diff bench-paper serve-smoke clean
+.PHONY: build test race vet fmt verify bench bench-diff bench-paper serve-smoke race-shard clean
 
 build:
 	$(GO) build ./...
@@ -34,10 +34,18 @@ verify: fmt vet build test race
 # (any alloc growth from a zero-alloc baseline fails outright); CI runs it
 # non-gating.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_6.json -benchtime 2s
+	$(GO) run ./cmd/bench -out BENCH_7.json -benchtime 2s
 
 bench-diff:
-	$(GO) run ./cmd/bench -diff BENCH_6.json
+	$(GO) run ./cmd/bench -diff BENCH_7.json
+
+# Race-check the sharded stepping engine specifically: the shard-invariance
+# suites in internal/noc and internal/fault drive the two-phase engine at
+# K in {2,4,8} on mesh and torus, healthy and faulted, so any cross-shard
+# data race in phase 1 surfaces here. Split from `race` so CI can gate on it
+# by name.
+race-shard:
+	$(GO) test -race -run 'ShardInvariance|TorusConservation|TorusFaultConservation' ./internal/noc/ ./internal/fault/
 
 # Full benchmark sweep across every package (slow; not snapshot-tracked).
 bench-paper:

@@ -24,17 +24,22 @@ import (
 	"os/exec"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-// Benchmark is one benchmark measurement.
+// Benchmark is one benchmark measurement. Metrics carries any custom
+// b.ReportMetric units (e.g. msgs/s/core); they are recorded for inspection
+// but never gate a diff, because custom metrics are throughput-style numbers
+// that depend on the machine as much as on the code.
 type Benchmark struct {
-	Pkg         string  `json:"pkg"`
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Pkg         string             `json:"pkg"`
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Snapshot is the on-disk format (BENCH_5.json).
@@ -48,9 +53,50 @@ var defaultPkgs = []string{
 	"./internal/serve",
 }
 
-// benchLine matches `BenchmarkHotX-8  1234  56.7 ns/op  8 B/op  2 allocs/op`.
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// gomaxprocsSuffix strips the `-8` GOMAXPROCS suffix from a benchmark name.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchLine tokenizes one `go test -bench` result line:
+//
+//	BenchmarkHotX-8  1234  56.7 ns/op  321 msgs/s/core  8 B/op  2 allocs/op
+//
+// The tail is a sequence of (value, unit) field pairs in no fixed order —
+// b.ReportMetric inserts custom units between ns/op and the -benchmem pair —
+// so the line is parsed pairwise instead of by a positional regexp (which
+// used to silently drop B/op and allocs/op whenever a custom metric was
+// present, zeroing alloc baselines in the snapshot).
+func parseBenchLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || len(f)%2 != 0 {
+		return Benchmark{}, false
+	}
+	if _, err := strconv.Atoi(f[1]); err != nil { // iteration count
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: strings.TrimPrefix(gomaxprocsSuffix.ReplaceAllString(f[0], ""), "Benchmark")}
+	seenNs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		val, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+			seenNs = true
+		case "B/op":
+			b.BytesPerOp = int64(val)
+		case "allocs/op":
+			b.AllocsPerOp = int64(val)
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, seenNs
+}
 
 func main() {
 	out := flag.String("out", "", "write the snapshot JSON to this file")
@@ -121,25 +167,11 @@ func measure(pattern, benchtime string) (*Snapshot, error) {
 			pkg = rest
 			continue
 		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
+		b, ok := parseBenchLine(line)
+		if !ok {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			continue
-		}
-		b := Benchmark{
-			Pkg:     pkg,
-			Name:    strings.TrimPrefix(m[1], "Benchmark"),
-			NsPerOp: ns,
-		}
-		if m[3] != "" {
-			b.BytesPerOp, _ = strconv.ParseInt(m[3], 10, 64)
-		}
-		if m[4] != "" {
-			b.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-		}
+		b.Pkg = pkg
 		snap.Benchmarks = append(snap.Benchmarks, b)
 	}
 	return snap, sc.Err()
@@ -200,11 +232,28 @@ func compare(base, cur *Snapshot, threshold float64) (regressed bool) {
 			flag = "  << BYTES REGRESSION"
 			regressed = true
 		}
-		fmt.Printf("%-42s %12.0f %12.0f %+7.1f%% %s%s\n",
-			c.Name, b.NsPerOp, c.NsPerOp, delta, allocs, flag)
+		fmt.Printf("%-42s %12.0f %12.0f %+7.1f%% %s%s%s\n",
+			c.Name, b.NsPerOp, c.NsPerOp, delta, allocs, renderMetrics(c.Metrics), flag)
 	}
 	if regressed {
 		fmt.Printf("\nregressions beyond +%.0f%% detected (ns/op, allocs/op, or bytes/op)\n", threshold)
 	}
 	return regressed
+}
+
+// renderMetrics formats custom metrics for the diff table, informational only.
+func renderMetrics(m map[string]float64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	units := make([]string, 0, len(m))
+	for u := range m {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	var b strings.Builder
+	for _, u := range units {
+		fmt.Fprintf(&b, "  %.1f %s", m[u], u)
+	}
+	return b.String()
 }

@@ -6,13 +6,14 @@
 //
 // where <experiment> is one of: fig4, fig5, fig7, fig9, fig10, fig11, fig12,
 // fig13, table1, table2, table3, ablation, starvation, faults, hillclimb,
-// quant, all.
+// quant, scaling, all.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"mlnoc/internal/cliutil"
@@ -38,6 +39,12 @@ func main() {
 	traceDir := flag.String("trace-dir", "",
 		"write one Chrome/Perfetto trace JSON per APU sweep cell into this directory")
 	traceSample := flag.Uint64("trace-sample", 64, "trace only every Nth message per cell")
+	flag.StringVar(&scalingSizes, "scaling-sizes", "",
+		"scaling experiment: comma-separated topology edge sizes (default 8,16,32)")
+	flag.StringVar(&scalingShards, "scaling-shards", "",
+		"scaling experiment: comma-separated shard counts (default 1,2,4)")
+	flag.BoolVar(&scalingTorus, "scaling-torus", false,
+		"scaling experiment: wrap the topology into a 2D torus")
 	quantMinAgree := flag.Float64("quant-min-agree", 0,
 		"quant experiment: exit nonzero when INT8/float action agreement falls below this fraction (0 = report only)")
 	flag.Usage = usage
@@ -251,6 +258,20 @@ func run(what string, sc experiments.Scale, withNN bool, csvDir string, tel *exp
 		writeCSV(csvDir, "flitcheck.csv", r.CSV())
 	case "hillclimb":
 		fmt.Print(experiments.HillClimbReport(sc))
+	case "scaling":
+		r, err := experiments.ScalingStudy(
+			parseIntList("-scaling-sizes", scalingSizes),
+			parseIntList("-scaling-shards", scalingShards),
+			scalingTorus, sc)
+		if err != nil {
+			// The study refuses to report if any shard count diverged from
+			// the sequential run — that is an engine bug, not a user error.
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(r.Render())
+		writeCSV(csvDir, "scaling_throughput.csv", r.CSV())
+		writeCSV(csvDir, "scaling_invariant.csv", r.InvariantCSV())
 	case "quant":
 		r := experiments.QuantStudy(4, sc)
 		fmt.Print(r.Render())
@@ -276,6 +297,32 @@ func run(what string, sc experiments.Scale, withNN bool, csvDir string, tel *exp
 		usage()
 		os.Exit(2)
 	}
+}
+
+// Scaling-experiment knobs; package-level because run is recursive for "all"
+// and the scaling flags only matter to one subcommand.
+var (
+	scalingSizes  string
+	scalingShards string
+	scalingTorus  bool
+)
+
+// parseIntList parses a comma-separated flag value; empty means the
+// experiment's default list.
+func parseIntList(flagName, s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %q is not a positive integer list\n", flagName, s)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 func renderTable1() string {
@@ -311,7 +358,13 @@ func usage() {
 
 experiments: fig4 fig5 fig7 fig9 fig10 fig11 fig12 fig13
              table1 table2 table3 ablation starvation fairness faults
-             qtable flitcheck bufablation tiebreak derive hillclimb quant all
+             qtable flitcheck bufablation tiebreak derive hillclimb quant
+             scaling all
+
+scaling sweeps large mesh/torus sizes across router-shard counts and checks
+the sharded engine is bit-identical to the sequential one; it is excluded
+from "all" because its throughput numbers are machine-dependent.
+
 flags:
 `)
 	flag.PrintDefaults()

@@ -198,7 +198,11 @@ func TestTransientOutage(t *testing.T) {
 // only admissible direction gets the unreachable verdict.
 func TestWestFirstRouting(t *testing.T) {
 	net, cores := mesh(3, 3, 1)
-	net.SetRouting(NewWestFirstRouting(net))
+	wf, err := NewWestFirstRouting(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetRouting(wf)
 	// Kill the east link out of (1,1) — both directions.
 	mid := net.RouterAt(1, 1).ID()
 	net.SetLinkDown(mid, noc.PortEast, true)

@@ -1,6 +1,8 @@
 package fault
 
 import (
+	"fmt"
+
 	"mlnoc/internal/noc"
 )
 
@@ -138,7 +140,11 @@ func (t *TableRouting) allHealthy() bool {
 }
 
 // rebuildMinimal fills the table with shortest paths, tie-broken toward the
-// dimension-ordered X-Y port; on a healthy mesh this is exactly X-Y routing.
+// topology's dimension-ordered port (Router.DirToward); on a healthy mesh this
+// is exactly X-Y routing, and on a healthy torus exactly the built-in
+// ring-shortest DOR — including the east/south tie at exactly half an even
+// ring, where both ways around are shortest and DirToward picks the one the
+// built-in routing takes.
 func (t *TableRouting) rebuildMinimal() {
 	routers := t.net.Routers()
 	dist := make([]int, t.n)
@@ -170,7 +176,7 @@ func (t *TableRouting) rebuildMinimal() {
 			if uID == dstID || dist[uID] < 0 {
 				continue
 			}
-			xy := xyDir(u.Coord, dst.Coord)
+			xy := u.DirToward(dst.Coord)
 			best := noc.PortID(-1)
 			for _, p := range dirPorts {
 				w := u.Neighbor(p)
@@ -286,7 +292,7 @@ func (t *TableRouting) rebuildUpDown() {
 			if uID == dstID || t.level[uID] < 0 {
 				continue
 			}
-			xy := xyDir(u.Coord, dst.Coord)
+			xy := u.DirToward(dst.Coord)
 			bestUp, bestDown := noc.PortID(-1), noc.PortID(-1)
 			var costUp, costDown int32 = -1, -1
 			for _, p := range dirPorts {
@@ -349,19 +355,10 @@ func (t *TableRouting) Route(r *noc.Router, m *noc.Message) noc.PortID {
 	return noc.PortID(p)
 }
 
-// xyDir returns the dimension-ordered direction port from coordinate c toward
-// coordinate d (X first, then Y), assuming c != d.
-func xyDir(c, d noc.Coord) noc.PortID {
-	switch {
-	case d.X > c.X:
-		return noc.PortEast
-	case d.X < c.X:
-		return noc.PortWest
-	case d.Y > c.Y:
-		return noc.PortSouth
-	}
-	return noc.PortNorth
-}
+// ShardSafe implements noc.ShardSafeRouting. Route reads only tables that
+// rebuild on fault events (never during arbitration) and writes only the
+// queried message's RouteBits, so the parallel phase-1 scan may call it.
+func (t *TableRouting) ShardSafe() bool { return true }
 
 // WestFirstRouting is the west-first turn model with minimal adaptivity: all
 // westward hops happen first (no turning into west later), and eastbound
@@ -374,9 +371,15 @@ type WestFirstRouting struct {
 	net *noc.Network
 }
 
-// NewWestFirstRouting returns a west-first router for the network.
-func NewWestFirstRouting(net *noc.Network) *WestFirstRouting {
-	return &WestFirstRouting{net: net}
+// NewWestFirstRouting returns a west-first router for the network. The turn
+// model's deadlock-freedom proof assumes an open mesh — wraparound links put
+// the forbidden turns back into a cycle — so torus networks are rejected with
+// an error (an explicit capability check, not a mid-run panic).
+func NewWestFirstRouting(net *noc.Network) (*WestFirstRouting, error) {
+	if net.Torus() {
+		return nil, fmt.Errorf("fault: west-first routing requires an open mesh, not a torus")
+	}
+	return &WestFirstRouting{net: net}, nil
 }
 
 // Name implements noc.Routing.
@@ -424,3 +427,7 @@ func (w *WestFirstRouting) Route(r *noc.Router, m *noc.Message) noc.PortID {
 	}
 	return dst.Port
 }
+
+// ShardSafe implements noc.ShardSafeRouting: west-first consults only live
+// link state and never writes outside the queried message.
+func (w *WestFirstRouting) ShardSafe() bool { return true }

@@ -1,0 +1,124 @@
+package fault
+
+import (
+	"testing"
+
+	"mlnoc/internal/arb"
+	"mlnoc/internal/noc"
+)
+
+// torus builds a cores-on-every-router torus with the global-age policy, the
+// torus counterpart of the mesh helper.
+func torus(w, h, vcs int) (*noc.Network, []*noc.Node) {
+	net, cores := noc.BuildTorusCores(noc.Config{Width: w, Height: h, VCs: vcs, BufferCap: 4})
+	net.SetPolicy(arb.NewGlobalAge())
+	return net, cores
+}
+
+// TestShardInvarianceDegraded pins the sharded engine against the sequential
+// one on a faulted run that goes through the full fault-aware stack: table
+// routing degrades to up*/down* after mid-run link kills, messages carry
+// RouteBits phase state, outages repair, and a router freezes — on both a
+// mesh and a torus. TableRouting declares itself shard-safe; any divergence
+// between phase-1 route calls and the sequential probe order shows up as a
+// delivery-trace mismatch.
+func TestShardInvarianceDegraded(t *testing.T) {
+	topologies := map[string]func() (*noc.Network, []*noc.Node){
+		"mesh":  func() (*noc.Network, []*noc.Node) { return mesh(4, 4, 2) },
+		"torus": func() (*noc.Network, []*noc.Node) { return torus(4, 4, 2) },
+	}
+	for tname, build := range topologies {
+		t.Run(tname, func(t *testing.T) {
+			run := func(shards int) (*noc.Network, []string, Stats) {
+				net, cores := build()
+				var plan Plan
+				plan.KillLink(net.RouterAt(1, 1).ID(), noc.PortEast, 100)
+				plan.KillLink(net.RouterAt(2, 2).ID(), noc.PortSouth, 100)
+				plan.Outage(net.RouterAt(0, 1).ID(), noc.PortEast, 150, 400)
+				plan.FreezeRouter(net.RouterAt(3, 0).ID(), 200, 350)
+				inj, err := (Spec{Plan: plan}).Equip(net)
+				if err != nil {
+					t.Fatalf("Equip: %v", err)
+				}
+				net.SetShards(shards)
+				defer net.SetShards(1)
+				trace := traceDeliveries(cores)
+				drive(net, cores, 31, 800)
+				return net, *trace, inj.Stats()
+			}
+			baseNet, baseTrace, baseStats := run(1)
+			if baseStats.Reroutes == 0 || baseStats.Requeued == 0 {
+				t.Fatalf("fault scenario is vacuous: %+v", baseStats)
+			}
+			if len(baseTrace) == 0 {
+				t.Fatal("no deliveries recorded")
+			}
+			for _, k := range []int{2, 4} {
+				net, trace, stats := run(k)
+				if len(trace) != len(baseTrace) {
+					t.Fatalf("K=%d delivery counts diverge: %d vs %d", k, len(trace), len(baseTrace))
+				}
+				for i := range baseTrace {
+					if trace[i] != baseTrace[i] {
+						t.Fatalf("K=%d delivery %d diverges: %q vs %q", k, i, trace[i], baseTrace[i])
+					}
+				}
+				if stats != baseStats {
+					t.Fatalf("K=%d fault stats diverge: %+v vs %+v", k, stats, baseStats)
+				}
+				if net.Stats().Injected != baseNet.Stats().Injected ||
+					net.Stats().Latency.Mean() != baseNet.Stats().Latency.Mean() {
+					t.Fatalf("K=%d network stats diverge", k)
+				}
+			}
+		})
+	}
+}
+
+// TestTorusFaultConservation cuts one torus router off entirely (all four
+// ring links killed) and checks the conservation identity
+// Injected == Delivered + Unreachable + InFlight: traffic to the dead router
+// gets explicit unreachable verdicts, everything else routes around the hole
+// over the wraparound links, and nothing is silently lost.
+func TestTorusFaultConservation(t *testing.T) {
+	net, cores := torus(5, 5, 2)
+	dead := net.RouterAt(2, 2)
+	var plan Plan
+	for _, p := range []noc.PortID{noc.PortNorth, noc.PortSouth, noc.PortWest, noc.PortEast} {
+		plan.KillLink(dead.ID(), p, 100)
+	}
+	inj, err := (Spec{Plan: plan}).Equip(net)
+	if err != nil {
+		t.Fatalf("Equip: %v", err)
+	}
+	drive(net, cores, 53, 1200)
+	s := net.Stats()
+	fs := inj.Stats()
+	if s.Injected != s.Delivered+fs.Unreachable+net.InFlight() {
+		t.Fatalf("conservation broken: injected=%d delivered=%d unreachable=%d inflight=%d",
+			s.Injected, s.Delivered, fs.Unreachable, net.InFlight())
+	}
+	if fs.Unreachable == 0 {
+		t.Fatal("no unreachable verdicts despite a fully cut-off router")
+	}
+	if fs.Reroutes == 0 {
+		t.Fatal("no reroutes counted; torus healthy paths never detoured")
+	}
+	if net.InFlight() != 0 {
+		t.Fatalf("%d messages still in flight after drain; up*/down* wedged on the torus", net.InFlight())
+	}
+}
+
+// TestWestFirstRejectsTorus pins the explicit capability check: the west-first
+// turn model's deadlock-freedom proof needs an open mesh, so construction on a
+// torus must fail with an error instead of wedging at runtime.
+func TestWestFirstRejectsTorus(t *testing.T) {
+	net, _ := torus(4, 4, 1)
+	if _, err := NewWestFirstRouting(net); err == nil {
+		t.Fatal("NewWestFirstRouting accepted a torus")
+	}
+	mesh, _ := mesh(4, 4, 1)
+	if _, err := NewWestFirstRouting(mesh); err != nil {
+		t.Fatalf("NewWestFirstRouting rejected an open mesh: %v", err)
+	}
+}

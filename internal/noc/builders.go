@@ -14,3 +14,25 @@ func BuildMeshCores(cfg Config) (*Network, []*Node) {
 	}
 	return n, nodes
 }
+
+// BuildTorusCores is BuildMeshCores with both dimensions closed into rings
+// (cfg.Torus is forced on): every router gains wraparound links, routing takes
+// the shorter way around each ring, and Distance becomes per-dimension ring
+// distance.
+func BuildTorusCores(cfg Config) (*Network, []*Node) {
+	cfg.Torus = true
+	return BuildMeshCores(cfg)
+}
+
+// BuildMesh16x16 creates the 16x16 large-mesh scenario: one core per router,
+// three message classes, and the deeper buffers the bigger diameter needs to
+// sustain Section 3.2-style loads.
+func BuildMesh16x16() (*Network, []*Node) {
+	return BuildMeshCores(Config{Width: 16, Height: 16, VCs: 3, BufferCap: 8})
+}
+
+// BuildMesh32x32 creates the 32x32 large-mesh scenario used for the sharded
+// stepping throughput benchmark (1024 routers, 1024 cores).
+func BuildMesh32x32() (*Network, []*Node) {
+	return BuildMeshCores(Config{Width: 32, Height: 32, VCs: 3, BufferCap: 8})
+}

@@ -18,6 +18,11 @@ type Config struct {
 	// MaxFlits bounds message size; the delivery wheel is sized from it.
 	// Defaults to 32.
 	MaxFlits int
+	// Torus closes both dimensions into rings: every router gets wraparound
+	// links (east of column Width-1 connects to column 0, south of row
+	// Height-1 to row 0), turning the mesh into a 2D torus. Requires Width
+	// and Height >= 3 so the two ring directions of a router are distinct.
+	Torus bool
 }
 
 func (c *Config) applyDefaults() {
@@ -101,6 +106,11 @@ type Network struct {
 	wheel   [][]delivery // delivery wheel indexed by cycle % len(wheel)
 	pending int          // messages scheduled but not yet delivered
 
+	// pendingInj counts messages queued at nodes that have not yet entered
+	// the network, maintained incrementally by Node.Inject/dequeue so the
+	// Drain/Quiescent check is O(1) instead of O(nodes) per cycle.
+	pendingInj int
+
 	inflightBySrc []int // outstanding messages per source node
 
 	// in-flight age tracking for reward functions
@@ -155,6 +165,14 @@ type Network struct {
 
 	// msgFree recycles delivered/evicted pooled messages (AllocMessage).
 	msgFree []*Message
+
+	// sharded two-phase stepping (see shard.go); shards <= 1 is sequential.
+	shards      int
+	shardBounds []int           // router range of shard i is [bounds[i], bounds[i+1])
+	shardWake   []chan struct{} // one wake channel per worker goroutine
+	shardDone   chan struct{}   // workers signal scan completion here
+	plans       []routerPlan    // per-router phase-1 output, indexed by router ID
+	shardHeads  []shardScratch  // per-shard bucketing scratch
 }
 
 // New creates an empty W x H mesh with no nodes attached. Use AttachNode (or
@@ -163,6 +181,9 @@ func New(cfg Config) *Network {
 	cfg.applyDefaults()
 	if cfg.Width <= 0 || cfg.Height <= 0 {
 		panic("noc: mesh dimensions must be positive")
+	}
+	if cfg.Torus && (cfg.Width < 3 || cfg.Height < 3) {
+		panic("noc: torus dimensions must be at least 3x3")
 	}
 	n := &Network{
 		cfg:         cfg,
@@ -181,10 +202,16 @@ func New(cfg Config) *Network {
 			n.routers[id] = r
 		}
 	}
-	// Wire mesh links and allocate direction-port buffers.
+	// Wire mesh links and allocate direction-port buffers. On a torus the
+	// neighbor coordinates wrap, so every router has all four direction
+	// ports; the east<->west and north<->south pairing of Opposite holds on
+	// wraparound links exactly as on interior ones.
 	for _, r := range n.routers {
 		link := func(p PortID, nx, ny int) {
-			if nx < 0 || ny < 0 || nx >= cfg.Width || ny >= cfg.Height {
+			if cfg.Torus {
+				nx = (nx + cfg.Width) % cfg.Width
+				ny = (ny + cfg.Height) % cfg.Height
+			} else if nx < 0 || ny < 0 || nx >= cfg.Width || ny >= cfg.Height {
 				return
 			}
 			r.peerRouter[p] = n.routers[ny*cfg.Width+nx]
@@ -270,6 +297,19 @@ func (n *Network) Routing() Routing { return n.routing }
 
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// Torus reports whether the network's dimensions wrap around (2D torus).
+func (n *Network) Torus() bool { return n.cfg.Torus }
+
+// Distance returns the minimal hop distance between two router coordinates
+// under the network's topology: Manhattan distance on a mesh, per-dimension
+// ring distance on a torus.
+func (n *Network) Distance(a, b Coord) int {
+	if !n.cfg.Torus {
+		return a.Manhattan(b)
+	}
+	return ringDist(a.X, b.X, n.cfg.Width) + ringDist(a.Y, b.Y, n.cfg.Height)
+}
 
 // Cycle returns the current simulation cycle.
 func (n *Network) Cycle() int64 { return n.cycle }
@@ -428,26 +468,24 @@ func (n *Network) Drain(maxCycles int64) bool {
 }
 
 // Quiescent reports whether no messages are in flight and no node has pending
-// injections.
+// injections. It is O(1): the pending-injection total is maintained
+// incrementally as messages enter and leave the node queues.
 func (n *Network) Quiescent() bool {
-	if n.inflightCount != 0 || n.pending != 0 {
-		return false
-	}
-	for _, node := range n.nodes {
-		if node.PendingInjections() > 0 {
-			return false
-		}
-	}
-	return true
+	return n.inflightCount == 0 && n.pending == 0 && n.pendingInj == 0
 }
+
+// PendingInjections returns the total number of messages queued at nodes that
+// have not yet entered the network.
+func (n *Network) PendingInjections() int { return n.pendingInj }
 
 func (n *Network) schedule(delay int64, d delivery) {
 	if delay <= 0 {
 		panic("noc: delivery delay must be positive")
 	}
 	if delay >= int64(len(n.wheel)) {
-		panic(fmt.Sprintf("noc: message of %d flits exceeds MaxFlits=%d",
-			d.msg.SizeFlits, n.cfg.MaxFlits))
+		panic(fmt.Sprintf(
+			"noc: delivery delay %d does not fit the %d-slot wheel (MaxFlits=%d; message %s has %d flits)",
+			delay, len(n.wheel), n.cfg.MaxFlits, d.msg, d.msg.SizeFlits))
 	}
 	slot := (n.cycle + delay) % int64(len(n.wheel))
 	n.wheel[slot] = append(n.wheel[slot], d)
@@ -517,7 +555,7 @@ func (n *Network) inject() {
 
 		dst := n.nodes[m.Dst]
 		m.InjectCycle = n.cycle
-		m.Distance = node.Router.Coord.Manhattan(dst.Router.Coord)
+		m.Distance = n.Distance(node.Router.Coord, dst.Router.Coord)
 		m.DstKind = dst.Kind
 		m.HopCount = 0
 		buf.push(n.cycle, m)
@@ -626,6 +664,10 @@ func (n *Network) applyGrant(r *Router, out PortID, c Candidate) {
 }
 
 func (n *Network) arbitrate() {
+	if n.shards > 1 && n.shardReady() {
+		n.arbitrateSharded()
+		return
+	}
 	if n.matcher != nil {
 		n.arbitrateMatched()
 		return
@@ -645,17 +687,25 @@ func (n *Network) arbitrate() {
 			n.arbitrateRouterFused(ctx, r)
 			continue
 		}
-		for out := PortID(0); out < MaxPorts; out++ {
-			if !r.HasPort(out) || r.linkDown[out] || r.OutputBusy(out, n.cycle) {
-				continue
-			}
-			cands := n.gatherCandidates(r, out)
-			if len(cands) == 0 {
-				continue
-			}
-			ctx.Out = out
-			n.selectAndGrant(ctx, r, out, cands)
+		n.arbitrateRouterLegacy(ctx, r)
+	}
+}
+
+// arbitrateRouterLegacy arbitrates r's outputs with one gather per output —
+// the reference per-router sequence the fused and sharded paths must
+// reproduce, and the path sharded phase 2 falls back to for routers whose
+// phase-1 plan was invalidated by an unreachable head.
+func (n *Network) arbitrateRouterLegacy(ctx *ArbContext, r *Router) {
+	for out := PortID(0); out < MaxPorts; out++ {
+		if !r.HasPort(out) || r.linkDown[out] || r.OutputBusy(out, n.cycle) {
+			continue
 		}
+		cands := n.gatherCandidates(r, out)
+		if len(cands) == 0 {
+			continue
+		}
+		ctx.Out = out
+		n.selectAndGrant(ctx, r, out, cands)
 	}
 }
 
@@ -793,58 +843,69 @@ func (n *Network) arbitrateMatched() {
 				reqs = append(reqs, Request{Out: out, Cands: arena[start:len(arena):len(arena)]})
 			}
 		} else {
-			for out := PortID(0); out < MaxPorts; out++ {
-				if !r.HasPort(out) || r.linkDown[out] || r.OutputBusy(out, n.cycle) {
-					continue
-				}
-				cands := n.gatherCandidates(r, out)
-				if len(cands) == 0 {
-					continue
-				}
-				// Candidates must outlive the next gather call: park them in
-				// the arena (appending must never reallocate, or earlier
-				// requests' slices would go stale — fall back to a fresh
-				// slice in the overflow case instead).
-				var own []Candidate
-				if len(arena)+len(cands) <= cap(arena) {
-					start := len(arena)
-					arena = append(arena, cands...)
-					own = arena[start:len(arena):len(arena)]
-				} else {
-					own = make([]Candidate, len(cands))
-					copy(own, cands)
-				}
-				reqs = append(reqs, Request{Out: out, Cands: own})
-			}
+			arena, reqs = n.gatherRequestsLegacy(r, arena, reqs)
 		}
-		n.reqScratch = reqs[:0]
-		if len(reqs) == 0 {
+		n.matchAndApply(mctx, r, reqs)
+	}
+}
+
+// gatherRequestsLegacy builds r's per-output requests with one gather per
+// output, parking candidates in arena. Appending to the arena must never
+// reallocate, or earlier requests' slices would go stale — overflow falls
+// back to a fresh slice instead.
+func (n *Network) gatherRequestsLegacy(r *Router, arena []Candidate, reqs []Request) ([]Candidate, []Request) {
+	for out := PortID(0); out < MaxPorts; out++ {
+		if !r.HasPort(out) || r.linkDown[out] || r.OutputBusy(out, n.cycle) {
 			continue
 		}
-		mctx.Router = r
-		grants := n.matcher.Match(mctx, reqs)
-		if len(grants) != len(reqs) {
-			panic(fmt.Sprintf("noc: matcher %s returned %d grants for %d requests",
-				n.policy.Name(), len(grants), len(reqs)))
+		cands := n.gatherCandidates(r, out)
+		if len(cands) == 0 {
+			continue
 		}
-		var usedIn [MaxPorts]bool
-		for i, g := range grants {
-			if len(n.arbObs) > 0 && (len(reqs[i].Cands) > 1 || g < 0) {
-				n.observeArb(r, reqs[i].Out, reqs[i].Cands, g)
-			}
-			if g < 0 {
-				continue
-			}
-			if g >= len(reqs[i].Cands) {
-				panic(fmt.Sprintf("noc: matcher %s grant %d out of range", n.policy.Name(), g))
-			}
-			c := reqs[i].Cands[g]
-			if usedIn[c.Port] {
-				panic(fmt.Sprintf("noc: matcher %s granted input port %s twice", n.policy.Name(), c.Port))
-			}
-			usedIn[c.Port] = true
-			n.applyGrant(r, reqs[i].Out, c)
+		var own []Candidate
+		if len(arena)+len(cands) <= cap(arena) {
+			start := len(arena)
+			arena = append(arena, cands...)
+			own = arena[start:len(arena):len(arena)]
+		} else {
+			own = make([]Candidate, len(cands))
+			copy(own, cands)
 		}
+		reqs = append(reqs, Request{Out: out, Cands: own})
+	}
+	return arena, reqs
+}
+
+// matchAndApply runs the installed matcher over r's requests and applies the
+// grants, enforcing the one-grant-per-input-port invariant.
+func (n *Network) matchAndApply(mctx *MatchContext, r *Router, reqs []Request) {
+	n.reqScratch = reqs[:0]
+	if len(reqs) == 0 {
+		return
+	}
+	mctx.Router = r
+	grants := n.matcher.Match(mctx, reqs)
+	if len(grants) != len(reqs) {
+		panic(fmt.Sprintf("noc: matcher %s returned %d grants for %d requests",
+			n.policy.Name(), len(grants), len(reqs)))
+	}
+	var usedIn [MaxPorts]bool
+	for i, g := range grants {
+		if len(n.arbObs) > 0 && (len(reqs[i].Cands) > 1 || g < 0) {
+			n.observeArb(r, reqs[i].Out, reqs[i].Cands, g)
+		}
+		if g < 0 {
+			continue
+		}
+		if g >= len(reqs[i].Cands) {
+			panic(fmt.Sprintf("noc: matcher %s grant %d out of range", n.policy.Name(), g))
+		}
+		c := reqs[i].Cands[g]
+		if usedIn[c.Port] {
+			panic(fmt.Sprintf("noc: matcher %s granted input port %s twice", n.policy.Name(), c.Port))
+		}
+		usedIn[c.Port] = true
+		n.applyGrant(r, reqs[i].Out, c)
 	}
 }
 

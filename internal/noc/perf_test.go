@@ -3,6 +3,7 @@ package noc_test
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"mlnoc/internal/arb"
 	"mlnoc/internal/noc"
@@ -54,3 +55,45 @@ func BenchmarkHotNetworkStep(b *testing.B) {
 		net.Step()
 	}
 }
+
+// benchLargeMesh measures steady-state stepping of one large mesh with the
+// given router-shard count, reporting delivered messages/sec/core — the
+// headline scaling metric. K>1 only pays off with spare cores; on a
+// single-CPU runner the two-phase barrier is pure overhead and the custom
+// metric records that honestly.
+// The rate must stay below the topology's saturation point (the mesh
+// bisection bound shrinks as 2/size for uniform traffic) or the injection
+// queues and message freelist grow — and allocate — without bound.
+func benchLargeMesh(b *testing.B, size, shards int, rate float64) {
+	net, cores := noc.BuildMeshCores(noc.Config{Width: size, Height: size, VCs: 3, BufferCap: 8})
+	net.SetPolicy(arb.NewGlobalAge())
+	net.SetShards(shards)
+	defer net.SetShards(1)
+	in := traffic.NewInjector(cores, traffic.UniformRandom{}, rate, rand.New(rand.NewSource(17)))
+	in.Classes = 3
+	// Long warmup: the in-flight population on a near-saturation 32x32 mesh
+	// takes on the order of a thousand cycles to stabilize, and the message
+	// freelist keeps growing (allocating) until it does.
+	for i := 0; i < 1500; i++ {
+		in.Tick()
+		net.Step()
+	}
+	before := net.Stats().Delivered
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		in.Tick()
+		net.Step()
+	}
+	elapsed := time.Since(start).Seconds()
+	b.StopTimer()
+	if delivered := net.Stats().Delivered - before; elapsed > 0 {
+		b.ReportMetric(float64(delivered)/elapsed/float64(len(cores)), "msgs/s/core")
+	}
+}
+
+func BenchmarkHotLargeMeshStep16x16K1(b *testing.B) { benchLargeMesh(b, 16, 1, 0.1) }
+func BenchmarkHotLargeMeshStep16x16K4(b *testing.B) { benchLargeMesh(b, 16, 4, 0.1) }
+func BenchmarkHotLargeMeshStep32x32K1(b *testing.B) { benchLargeMesh(b, 32, 1, 0.05) }
+func BenchmarkHotLargeMeshStep32x32K4(b *testing.B) { benchLargeMesh(b, 32, 4, 0.05) }

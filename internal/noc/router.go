@@ -194,21 +194,57 @@ func (r *Router) Route(m *Message) PortID {
 // correct X first, then Y, then the destination node's attach port. It is
 // the default routing function and the reference fault-aware routers deviate
 // from only around dead links (the engine counts such deviations as
-// reroutes).
+// reroutes). On a torus each dimension takes the shorter way around its ring
+// (see DirToward), so it stays a pure function of (router, destination) and
+// the route memo remains valid.
 func (r *Router) XYPort(m *Message) PortID {
 	dst := r.net.nodes[m.Dst]
-	dc := dst.Router.Coord
-	switch {
-	case dc.X > r.Coord.X:
-		return PortEast
-	case dc.X < r.Coord.X:
+	if dst.Router == r {
+		return dst.Port
+	}
+	return r.DirToward(dst.Router.Coord)
+}
+
+// DirToward returns the dimension-ordered routing direction from r toward
+// router coordinate dc: correct X first, then Y. On a mesh it is the plain
+// X-Y comparison; on a torus each dimension takes the shorter way around its
+// ring, with the tie at exactly half an even ring broken deterministically
+// toward east/south. dc must differ from r.Coord.
+func (r *Router) DirToward(dc Coord) PortID {
+	cfg := &r.net.cfg
+	if dc.X != r.Coord.X {
+		if !cfg.Torus {
+			if dc.X > r.Coord.X {
+				return PortEast
+			}
+			return PortWest
+		}
+		fwd := dc.X - r.Coord.X // eastward hops, modulo the ring
+		if fwd < 0 {
+			fwd += cfg.Width
+		}
+		if 2*fwd <= cfg.Width {
+			return PortEast
+		}
 		return PortWest
-	case dc.Y > r.Coord.Y:
-		return PortSouth
-	case dc.Y < r.Coord.Y:
+	}
+	if dc.Y == r.Coord.Y {
+		panic("noc: DirToward called with the router's own coordinate")
+	}
+	if !cfg.Torus {
+		if dc.Y > r.Coord.Y {
+			return PortSouth
+		}
 		return PortNorth
 	}
-	return dst.Port
+	fwd := dc.Y - r.Coord.Y // southward hops, modulo the ring
+	if fwd < 0 {
+		fwd += cfg.Height
+	}
+	if 2*fwd <= cfg.Height {
+		return PortSouth
+	}
+	return PortNorth
 }
 
 // String implements fmt.Stringer.

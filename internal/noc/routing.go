@@ -37,3 +37,7 @@ func (XYRouting) Name() string { return "xy" }
 
 // Route implements Routing.
 func (XYRouting) Route(r *Router, m *Message) PortID { return r.XYPort(m) }
+
+// ShardSafe implements ShardSafeRouting: X-Y routing is a pure function of
+// (router, message destination) with no cross-router state.
+func (XYRouting) ShardSafe() bool { return true }

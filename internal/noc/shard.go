@@ -1,0 +1,337 @@
+package noc
+
+import "math/bits"
+
+// Sharded two-phase stepping.
+//
+// SetShards(K) with K > 1 splits the router array into K contiguous shards
+// and turns the arbitrate stage of Step into two phases:
+//
+//   - Phase 1 (parallel): each shard scans its routers' occupancy bitmasks
+//     against the committed state of the cycle — one Route call per buffered
+//     head — and buckets the heads whose output port is grantable into a
+//     per-router plan. The scan is read-only outside shard-owned memory: it
+//     writes only the shard's own plans, the scanned routers' route-memo rows
+//     and the scanned messages' routing scratch, all of which are owned by
+//     the shard that owns the buffering router.
+//   - Phase 2 (serial): one goroutine walks the routers in the same fixed
+//     ascending order as the sequential engine and commits grants from the
+//     plans, re-checking the two facts phase 1 could not know: whether an
+//     earlier output of the same router already granted the input port this
+//     cycle, and whether the downstream buffer still has space (an earlier
+//     router's grant may have reserved the last slot — or freed one by
+//     popping its own head). Policy Select/Match calls, grant application,
+//     delivery scheduling and all stats run exclusively in this phase, in
+//     the exact sequential order.
+//
+// Because deliveries land on future cycles and a grant pops only from the
+// granting router's own buffers, every router's buffer heads are invariant
+// across the whole arbitrate stage — so phase 1's head snapshot is exact,
+// and the only state that moves under phase 2's feet is what it re-checks
+// live. A seeded run is therefore bit-identical to the sequential engine for
+// any shard count (pinned by TestShardInvariance). See DESIGN.md §13.
+//
+// A router whose scan meets a RouteUnreachable head falls back wholesale:
+// phase 2 replays the sequential evict + arbitrate sequence for it, because
+// evicting a head exposes a successor the scan never saw.
+
+// ShardSafeRouting marks a Routing implementation as safe for the parallel
+// phase-1 scan: Route must depend only on the queried router, the message,
+// and state that does not change during arbitration (topology, link health,
+// routing tables rebuilt from fault events), and may write only to the
+// message itself. Routings that do not implement it — or return false — force
+// the network back to sequential stepping regardless of SetShards.
+type ShardSafeRouting interface {
+	Routing
+	ShardSafe() bool
+}
+
+// routerPlan is one router's phase-1 output: for each output port with at
+// least one grantable head, the candidate group in (input port, VC) ascending
+// order — the exact order the sequential gather produces.
+type routerPlan struct {
+	cands    []Candidate     // per-output groups, packed ascending by output
+	off, cnt [MaxPorts]uint8 // group bounds: cands[off[out]:off[out]+cnt[out]]
+	filled   uint32          // bitmask of outputs with a non-empty group
+	fallback bool            // unreachable head seen; replay sequentially
+}
+
+// shardScratch is per-shard bucketing scratch for the phase-1 scan, mirroring
+// the sequential engine's Network.outHeads.
+type shardScratch struct {
+	outHeads [MaxPorts][]Candidate
+}
+
+// SetShards sets the number of router shards stepped in parallel during
+// arbitration. K <= 1 restores pure sequential stepping and stops the worker
+// goroutines; K is clamped to the router count. Seeded runs are bit-identical
+// across every K. Call SetShards(1) when done with a network to release its
+// workers.
+//
+// Sharding engages only while the network is in a shardable configuration:
+// occupancy tracking on (MaxPorts*VCs <= 64) and either built-in X-Y routing
+// or an installed ShardSafeRouting. Otherwise Step silently runs the
+// sequential engine, so SetShards is always safe to call.
+func (n *Network) SetShards(k int) {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(n.routers) {
+		k = len(n.routers)
+	}
+	if k == n.shards || (k == 1 && n.shards == 0) {
+		return
+	}
+	n.stopShardWorkers()
+	n.shards = k
+	if k == 1 {
+		return
+	}
+	n.shardBounds = make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		n.shardBounds[i] = i * len(n.routers) / k
+	}
+	if len(n.plans) != len(n.routers) {
+		n.plans = make([]routerPlan, len(n.routers))
+	}
+	n.shardHeads = make([]shardScratch, k)
+	n.shardWake = make([]chan struct{}, k-1)
+	n.shardDone = make(chan struct{}, k-1)
+	for i := range n.shardWake {
+		wake := make(chan struct{}, 1)
+		n.shardWake[i] = wake
+		shard := i + 1
+		go func() {
+			for range wake {
+				n.scanShard(shard)
+				n.shardDone <- struct{}{}
+			}
+		}()
+	}
+}
+
+// Shards returns the configured shard count (1 when sequential).
+func (n *Network) Shards() int {
+	if n.shards < 1 {
+		return 1
+	}
+	return n.shards
+}
+
+// stopShardWorkers terminates the phase-1 worker goroutines. Only called
+// between cycles, so no wake is ever pending when the channels close.
+func (n *Network) stopShardWorkers() {
+	for _, wake := range n.shardWake {
+		close(wake)
+	}
+	n.shardWake = nil
+	n.shardDone = nil
+}
+
+// shardReady reports whether this cycle's arbitration may run the sharded
+// two-phase path, mirroring fusedScanOK's occupancy/route-memo requirements
+// and additionally requiring any installed Routing to declare itself
+// shard-safe.
+func (n *Network) shardReady() bool {
+	if !n.occTrack {
+		return false
+	}
+	if n.routing != nil {
+		sr, ok := n.routing.(ShardSafeRouting)
+		return ok && sr.ShardSafe()
+	}
+	n.ensureRouteMemo()
+	return true
+}
+
+// arbitrateSharded runs one two-phase arbitration: wake the workers, scan
+// shard 0 on this goroutine, barrier on the workers, then commit serially.
+func (n *Network) arbitrateSharded() {
+	for _, wake := range n.shardWake {
+		wake <- struct{}{}
+	}
+	n.scanShard(0)
+	for range n.shardWake {
+		<-n.shardDone
+	}
+	if n.matcher != nil {
+		n.commitPlansMatched()
+		return
+	}
+	n.commitPlans()
+}
+
+// scanShard builds the phase-1 plans for every router of one shard. It runs
+// concurrently with the other shards' scans and must only write shard-owned
+// state (see the file comment).
+//
+// In faulty mode every buffered head is routed even when no output is free,
+// matching the sequential engine's per-cycle evictUnreachable probe — that is
+// how unreachable heads are detected and how stateful routings see the same
+// per-head Route coverage.
+func (n *Network) scanShard(shard int) {
+	sc := &n.shardHeads[shard]
+	rt := n.routing
+	vcs := n.cfg.VCs
+	faulty := n.faulty
+	lo, hi := n.shardBounds[shard], n.shardBounds[shard+1]
+	for id := lo; id < hi; id++ {
+		r := n.routers[id]
+		p := &n.plans[id]
+		p.filled = 0
+		p.fallback = false
+		if (faulty && r.frozen) || r.occ == 0 {
+			continue
+		}
+		var freeOuts uint32
+		for out := PortID(0); out < MaxPorts; out++ {
+			if r.HasPort(out) && !r.linkDown[out] && !r.OutputBusy(out, n.cycle) {
+				freeOuts |= 1 << out
+			}
+		}
+		if freeOuts == 0 && !faulty {
+			continue
+		}
+		var filled uint32
+		for mask := r.occ; mask != 0; mask &= mask - 1 {
+			bit := bits.TrailingZeros64(mask)
+			pp := PortID(bit / vcs)
+			vc := bit - int(pp)*vcs
+			m := r.in[pp][vc].q[0]
+			var out PortID
+			if rt != nil {
+				out = rt.Route(r, m)
+			} else {
+				out = n.xyRouteMemo(r, m)
+			}
+			if out == RouteUnreachable {
+				// Evicting the head exposes a successor this scan never
+				// routed; replay the router sequentially in phase 2.
+				p.fallback = true
+				filled = 0
+				break
+			}
+			if uint(out) >= MaxPorts || freeOuts&(1<<out) == 0 {
+				continue
+			}
+			if filled&(1<<out) == 0 {
+				filled |= 1 << out
+				sc.outHeads[out] = sc.outHeads[out][:0]
+			}
+			sc.outHeads[out] = append(sc.outHeads[out], Candidate{Port: pp, VC: vc, Msg: m})
+		}
+		if p.fallback || filled == 0 {
+			continue
+		}
+		cands := p.cands[:0]
+		for out := PortID(0); out < MaxPorts; out++ {
+			if filled&(1<<out) == 0 {
+				continue
+			}
+			p.off[out] = uint8(len(cands))
+			p.cnt[out] = uint8(len(sc.outHeads[out]))
+			cands = append(cands, sc.outHeads[out]...)
+		}
+		p.cands = cands
+		p.filled = filled
+	}
+}
+
+// commitPlans is phase 2 for per-output selection policies: walk routers in
+// ascending order, filter each plan group by the two live facts (input port
+// already granted this cycle by an earlier output; downstream buffer full),
+// and select/grant exactly as the sequential engine does.
+func (n *Network) commitPlans() {
+	ctx := &n.arbCtx
+	*ctx = ArbContext{Net: n, Cycle: n.cycle}
+	for id, r := range n.routers {
+		if n.faulty && r.frozen {
+			continue
+		}
+		p := &n.plans[id]
+		if p.fallback {
+			n.evictUnreachable(r)
+			ctx.Router = r
+			n.arbitrateRouterLegacy(ctx, r)
+			continue
+		}
+		if p.filled == 0 {
+			continue
+		}
+		ctx.Router = r
+		for out := PortID(0); out < MaxPorts; out++ {
+			if p.filled&(1<<out) == 0 {
+				continue
+			}
+			group := p.cands[p.off[out] : int(p.off[out])+int(p.cnt[out])]
+			var down []*Buffer
+			if next := r.peerRouter[out]; next != nil {
+				down = next.in[out.Opposite()]
+			}
+			cands := n.candScratch[:0]
+			for _, c := range group {
+				if r.inGrantedAt[c.Port] == n.cycle {
+					continue
+				}
+				if down != nil && !down[c.VC].Free() {
+					continue
+				}
+				cands = append(cands, c)
+			}
+			n.candScratch = cands
+			if len(cands) == 0 {
+				continue
+			}
+			ctx.Out = out
+			n.selectAndGrant(ctx, r, out, cands)
+		}
+	}
+}
+
+// commitPlansMatched is phase 2 for whole-router matchers: build each
+// router's request list from its plan with the live downstream-space filter
+// (no granted-input filter is needed — grants apply only after Match) and run
+// the sequential match-and-apply tail.
+func (n *Network) commitPlansMatched() {
+	if cap(n.candArena) < MaxPorts*n.cfg.VCs {
+		n.candArena = make([]Candidate, 0, MaxPorts*n.cfg.VCs)
+	}
+	mctx := &n.matchCtx
+	*mctx = MatchContext{Net: n, Cycle: n.cycle}
+	for id, r := range n.routers {
+		if n.faulty && r.frozen {
+			continue
+		}
+		p := &n.plans[id]
+		if p.fallback {
+			n.evictUnreachable(r)
+			_, reqs := n.gatherRequestsLegacy(r, n.candArena[:0], n.reqScratch[:0])
+			n.matchAndApply(mctx, r, reqs)
+			continue
+		}
+		arena := n.candArena[:0]
+		reqs := n.reqScratch[:0]
+		for out := PortID(0); p.filled != 0 && out < MaxPorts; out++ {
+			if p.filled&(1<<out) == 0 {
+				continue
+			}
+			group := p.cands[p.off[out] : int(p.off[out])+int(p.cnt[out])]
+			var down []*Buffer
+			if next := r.peerRouter[out]; next != nil {
+				down = next.in[out.Opposite()]
+			}
+			start := len(arena)
+			for _, c := range group {
+				if down != nil && !down[c.VC].Free() {
+					continue
+				}
+				arena = append(arena, c)
+			}
+			if len(arena) == start {
+				continue
+			}
+			reqs = append(reqs, Request{Out: out, Cands: arena[start:len(arena):len(arena)]})
+		}
+		n.matchAndApply(mctx, r, reqs)
+	}
+}

@@ -47,7 +47,9 @@ func (p PortID) String() string {
 func (p PortID) IsDirection() bool { return p >= PortNorth && p <= PortEast }
 
 // Opposite returns the direction port facing p (north<->south, west<->east).
-// It panics for non-direction ports.
+// It panics for non-direction ports. The pairing is purely local to a link and
+// holds on torus wraparound links too: the east port of the last column feeds
+// the west port of column zero, exactly as on an interior link.
 func (p PortID) Opposite() PortID {
 	switch p {
 	case PortNorth:
@@ -76,6 +78,16 @@ func abs(v int) int {
 		return -v
 	}
 	return v
+}
+
+// ringDist returns the distance between positions a and b on a ring of n
+// slots: the shorter of the two ways around.
+func ringDist(a, b, n int) int {
+	d := abs(a - b)
+	if n-d < d {
+		return n - d
+	}
+	return d
 }
 
 // String implements fmt.Stringer.
@@ -115,6 +127,7 @@ func (n *Node) Inject(m *Message) {
 	m.Src = n.ID
 	m.GenCycle = n.net.cycle
 	n.injectQ = append(n.injectQ, m)
+	n.net.pendingInj++
 }
 
 // Network returns the network this node is attached to. Traffic generators
@@ -131,6 +144,7 @@ func (n *Node) PendingInjections() int { return len(n.injectQ) - n.injectHead }
 func (n *Node) dequeue() {
 	n.injectQ[n.injectHead] = nil
 	n.injectHead++
+	n.net.pendingInj--
 	if n.injectHead == len(n.injectQ) {
 		n.injectQ = n.injectQ[:0]
 		n.injectHead = 0

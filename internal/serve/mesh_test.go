@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestMeshJobShardInvariantPayload runs the same mesh job through Execute at
+// two shard counts and requires byte-identical payloads. This is the property
+// that licenses excluding Shards from the job hash: a cache entry minted by a
+// sequential run answers a sharded request exactly, and vice versa.
+func TestMeshJobShardInvariantPayload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real (tiny) scaling simulations")
+	}
+	const scale = `"scale":{"warmup_cycles":100,"measure_cycles":300}`
+	seq := mustParse(t, `{"type":"mesh","mesh":{"sizes":[4,6],"shards":1},`+scale+`}`)
+	par := mustParse(t, `{"type":"mesh","mesh":{"sizes":[4,6],"shards":4},`+scale+`}`)
+	if seq.Hash() != par.Hash() {
+		t.Fatal("shard count changed the hash; payload comparison is moot")
+	}
+	a, err := Execute(context.Background(), seq, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(context.Background(), par, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("mesh payload varies with shard count:\n%s\n%s", a, b)
+	}
+	s := string(a)
+	for _, want := range []string{"scaling_invariant.csv", "delivered", "mesh4x4", "mesh6x6"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("payload missing %q:\n%s", want, s)
+		}
+	}
+	// Wall-clock fields must not leak into the cached payload.
+	for _, forbid := range []string{"msgs_per_sec", "wall_seconds", "Speedup"} {
+		if strings.Contains(s, forbid) {
+			t.Fatalf("payload leaks machine-dependent field %q", forbid)
+		}
+	}
+}
+
+// TestMeshJobTorus pins that the torus variant runs end to end and labels its
+// rows as a torus.
+func TestMeshJobTorus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (tiny) torus simulation")
+	}
+	spec := mustParse(t, `{"type":"mesh","mesh":{"sizes":[4],"torus":true,"shards":2},"scale":{"warmup_cycles":100,"measure_cycles":300}}`)
+	out, err := Execute(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "torus4x4") {
+		t.Fatalf("torus payload missing torus label:\n%s", out)
+	}
+}

@@ -39,6 +39,7 @@ const (
 	TypeTrain = "train"
 	TypeFault = "fault"
 	TypeQuant = "quant"
+	TypeMesh  = "mesh"
 )
 
 // Spec is the JSON job specification submitted to POST /jobs. Each type maps
@@ -50,6 +51,7 @@ const (
 //	train          -> experiments.TrainAPUCtx         (Fig. 7 heatmap)
 //	fault          -> experiments.FaultSweepRatesCtx  (robustness sweep)
 //	quant          -> experiments.QuantStudy          (INT8 fidelity)
+//	mesh           -> experiments.ScalingStudyCtx     (large mesh/torus scaling)
 //
 // Priority orders the queue (higher first, FIFO within a priority) and is
 // deliberately excluded from the job hash: it affects when a job runs, never
@@ -62,6 +64,7 @@ type Spec struct {
 	Sweep    *SweepSpec `json:"sweep,omitempty"`
 	Fault    *FaultSpec `json:"fault,omitempty"`
 	Quant    *QuantSpec `json:"quant,omitempty"`
+	Mesh     *MeshSpec  `json:"mesh,omitempty"`
 }
 
 // ScaleSpec selects a Scale preset and optionally overrides individual
@@ -99,6 +102,18 @@ type QuantSpec struct {
 	Size int `json:"size,omitempty"`
 }
 
+// MeshSpec parameterizes a large-topology scaling job. Sizes are mesh/torus
+// edge lengths (default experiments.DefaultScalingSizes). Shards is the
+// maximum router-shard count the engine steps with; like Priority it is an
+// execution knob — the sharded engine is bit-identical to the sequential one,
+// the run asserts that, and the cached result contains only shard-invariant
+// fields — so Shards is deliberately excluded from the job hash.
+type MeshSpec struct {
+	Sizes  []int `json:"sizes,omitempty"`
+	Torus  bool  `json:"torus,omitempty"`
+	Shards int   `json:"shards,omitempty"`
+}
+
 // ParseSpec decodes and validates a JSON job spec. Unknown fields are
 // rejected: a typo that silently dropped a knob would hash — and cache — as
 // a different job than the user meant.
@@ -120,7 +135,7 @@ func ParseSpec(data []byte) (*Spec, error) {
 // both surfaces.
 func (s *Spec) Validate() error {
 	var c cliutil.Check
-	c.OneOf("type", s.Type, TypeSweep, TypeTrain, TypeFault, TypeQuant)
+	c.OneOf("type", s.Type, TypeSweep, TypeTrain, TypeFault, TypeQuant, TypeMesh)
 	c.NonNegative("seed", s.Seed)
 	if sc := s.Scale; sc != nil {
 		if sc.Preset != "" {
@@ -150,6 +165,19 @@ func (s *Spec) Validate() error {
 	case TypeQuant:
 		if s.Quant != nil && s.Quant.Size != 0 {
 			c.AtLeast("quant.size", int64(s.Quant.Size), 2)
+		}
+	case TypeMesh:
+		if s.Mesh != nil {
+			// Torus rings need length >= 3 so a router's two ring directions
+			// stay distinct; an open mesh only needs >= 2.
+			min := int64(2)
+			if s.Mesh.Torus {
+				min = 3
+			}
+			for i, sz := range s.Mesh.Sizes {
+				c.AtLeast(fmt.Sprintf("mesh.sizes[%d]", i), int64(sz), min)
+			}
+			c.NonNegative("mesh.shards", int64(s.Mesh.Shards))
 		}
 	}
 	return c.Err()
@@ -212,6 +240,26 @@ func (s *Spec) effectiveQuantSize() int {
 	return 4
 }
 
+// effectiveMeshSizes resolves a mesh job's size list.
+func (s *Spec) effectiveMeshSizes() []int {
+	if s.Mesh != nil && len(s.Mesh.Sizes) > 0 {
+		return s.Mesh.Sizes
+	}
+	return experiments.DefaultScalingSizes
+}
+
+// effectiveMeshShards resolves a mesh job's shard-count sweep: always the
+// sequential baseline, plus the requested count when it differs — pairing
+// them makes every mesh job double as a production bit-identity check.
+func (s *Spec) effectiveMeshShards() []int {
+	if s.Mesh != nil && s.Mesh.Shards > 1 {
+		return []int{1, s.Mesh.Shards}
+	}
+	return []int{1}
+}
+
+func (s *Spec) meshTorus() bool { return s.Mesh != nil && s.Mesh.Torus }
+
 // canonicalJob is the exact byte layout hashed into the job's cache key:
 // engine and schema versions, the job type, and every resolved
 // result-affecting parameter with defaults applied. JSON key order follows
@@ -226,6 +274,16 @@ type canonicalJob struct {
 	Sweep  *SweepSpec        `json:"sweep,omitempty"`
 	Rates  []float64         `json:"rates,omitempty"`
 	Size   int               `json:"size,omitempty"`
+	Mesh   *canonicalMesh    `json:"mesh,omitempty"`
+}
+
+// canonicalMesh is the hashed form of a mesh job. Shards is absent on
+// purpose: the sharded engine is bit-identical to the sequential one and the
+// result doc carries only shard-invariant fields, so two specs differing only
+// in shard count are the same job and share a cache entry.
+type canonicalMesh struct {
+	Sizes []int `json:"sizes"`
+	Torus bool  `json:"torus"`
 }
 
 // Hash returns the canonical content hash of the job: a hex SHA-256 over the
@@ -255,6 +313,8 @@ func (s *Spec) hashWith(engine string, schema int) string {
 		c.Rates = s.effectiveRates()
 	case TypeQuant:
 		c.Size = s.effectiveQuantSize()
+	case TypeMesh:
+		c.Mesh = &canonicalMesh{Sizes: s.effectiveMeshSizes(), Torus: s.meshTorus()}
 	}
 	buf, err := json.Marshal(c)
 	if err != nil {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -52,6 +53,55 @@ func TestHashIgnoresPriority(t *testing.T) {
 	}
 }
 
+// A mesh job's shard count is an execution knob like priority: the sharded
+// engine is bit-identical to the sequential one and the result payload holds
+// only shard-invariant fields, so shard count must not change the hash —
+// while sizes and topology, which do change the outcome, must.
+func TestMeshHashSemantics(t *testing.T) {
+	a := mustParse(t, `{"type":"mesh","mesh":{"sizes":[8,16],"shards":1}}`)
+	b := mustParse(t, `{"type":"mesh","mesh":{"sizes":[8,16],"shards":8}}`)
+	if a.Hash() != b.Hash() {
+		t.Fatal("shard count changed the mesh job hash")
+	}
+	implicit := mustParse(t, `{"type":"mesh"}`)
+	explicit := mustParse(t, `{"type":"mesh","mesh":{"sizes":[8,16,32],"shards":4}}`)
+	if implicit.Hash() != explicit.Hash() {
+		t.Fatal("explicit default sizes changed the mesh job hash")
+	}
+	for _, js := range []string{
+		`{"type":"mesh","mesh":{"sizes":[8,16],"torus":true}}`,
+		`{"type":"mesh","mesh":{"sizes":[8]}}`,
+		`{"type":"mesh","seed":2,"mesh":{"sizes":[8,16]}}`,
+	} {
+		if mustParse(t, js).Hash() == a.Hash() {
+			t.Errorf("%s hashes identically to the base mesh job", js)
+		}
+	}
+}
+
+// Adding the mesh job type must not perturb the canonical bytes of
+// pre-existing job types — the canonical form only gains an omitempty field —
+// so every cache entry minted before it stays addressable.
+func TestMeshFieldAbsentFromOtherCanonicalForms(t *testing.T) {
+	for _, js := range []string{`{"type":"quant"}`, `{"type":"fault"}`, `{"type":"train"}`} {
+		spec := mustParse(t, js)
+		c := canonicalJob{
+			Engine: EngineVersion,
+			Schema: SchemaVersion,
+			Type:   spec.Type,
+			Seed:   spec.EffectiveSeed(),
+			Scale:  spec.ResolveScale(),
+		}
+		buf, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(buf), "mesh") {
+			t.Fatalf("canonical form of %s grew a mesh key: %s", js, buf)
+		}
+	}
+}
+
 // Anything that changes what the simulation computes must change the hash.
 func TestHashDiffersOnParameters(t *testing.T) {
 	base := mustParse(t, `{"type":"sweep","seed":1,"sweep":{"experiment":"exec"}}`)
@@ -93,6 +143,9 @@ func TestParseSpecRejects(t *testing.T) {
 		{`{"type":"fault","fault":{"rates":[0.5,1.5]}}`, `fault.rates[1] must be in [0,1], got 1.5`},
 		{`{"type":"quant","quant":{"size":1}}`, `quant.size must be >= 2, got 1`},
 		{`{"type":"train","scale":{"preset":"huge"}}`, `scale.preset must be one of`},
+		{`{"type":"mesh","mesh":{"sizes":[1]}}`, `mesh.sizes[0] must be >= 2, got 1`},
+		{`{"type":"mesh","mesh":{"sizes":[2],"torus":true}}`, `mesh.sizes[0] must be >= 3, got 2`},
+		{`{"type":"mesh","mesh":{"shards":-1}}`, `mesh.shards must be >= 0, got -1`},
 		{`{"type":"train","scale":{"op_scale":-0.5}}`, `scale.op_scale must be positive`},
 	}
 	for _, tc := range cases {
