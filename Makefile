@@ -34,10 +34,10 @@ verify: fmt vet build test race
 # (any alloc growth from a zero-alloc baseline fails outright); CI runs it
 # non-gating.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_7.json -benchtime 2s
+	$(GO) run ./cmd/bench -out BENCH_8.json -benchtime 2s
 
 bench-diff:
-	$(GO) run ./cmd/bench -diff BENCH_7.json
+	$(GO) run ./cmd/bench -diff BENCH_8.json
 
 # Race-check the sharded stepping engine specifically: the shard-invariance
 # suites in internal/noc and internal/fault drive the two-phase engine at

@@ -50,9 +50,13 @@ func main() {
 		"write the trace as compact CSV to this file (implies -trace)")
 	traceSample := flag.Uint64("trace-sample", 64,
 		"trace only every Nth message (APU runs generate millions)")
+	var logCfg cliutil.LogConfig
+	cliutil.AddLogFlags(flag.CommandLine, &logCfg)
 	profCfg := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
 
+	log := cliutil.SetupLogger("apusim", &logCfg)
+	log = log.With("corr_id", fmt.Sprintf("apusim-%d-%d", os.Getpid(), *seed))
 	profStop, profErr := prof.Start(*profCfg)
 	if profErr != nil {
 		cliutil.Fatal("apusim", "%v", profErr)
@@ -125,7 +129,7 @@ func main() {
 				MaxHeadAge:     *watchdog,
 				LivelockWindow: *watchdog,
 				OnAlert: func(a obs.Alert) {
-					fmt.Fprintln(os.Stderr, "watchdog: "+a.String())
+					log.Warn("watchdog alert", "kind", string(a.Kind), "alert", a.String())
 				},
 			}
 		}

@@ -27,6 +27,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"mlnoc/internal/cliutil"
 )
 
 // Benchmark is one benchmark measurement. Metrics carries any custom
@@ -50,7 +52,7 @@ type Snapshot struct {
 
 var defaultPkgs = []string{
 	"./internal/noc", "./internal/nn", "./internal/rl", "./internal/core",
-	"./internal/serve",
+	"./internal/serve", "./internal/telemetry",
 }
 
 // gomaxprocsSuffix strips the `-8` GOMAXPROCS suffix from a benchmark name.
@@ -105,10 +107,13 @@ func main() {
 	pattern := flag.String("bench", "Hot|JobHash|SubmitCachedJob",
 		"benchmark name pattern passed to go test -bench")
 	benchtime := flag.String("benchtime", "", "value for go test -benchtime (e.g. 100x, 2s); empty = default")
+	var logCfg cliutil.LogConfig
+	cliutil.AddLogFlags(flag.CommandLine, &logCfg)
 	flag.Parse()
 
+	log := cliutil.SetupLogger("bench", &logCfg)
 	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+		log.Error(fmt.Sprintf(format, args...))
 		os.Exit(2)
 	}
 	if *out == "" && *diff == "" {

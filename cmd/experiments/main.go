@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -47,6 +48,8 @@ func main() {
 		"scaling experiment: wrap the topology into a 2D torus")
 	quantMinAgree := flag.Float64("quant-min-agree", 0,
 		"quant experiment: exit nonzero when INT8/float action agreement falls below this fraction (0 = report only)")
+	var logCfg cliutil.LogConfig
+	cliutil.AddLogFlags(flag.CommandLine, &logCfg)
 	flag.Usage = usage
 	profCfg := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -54,6 +57,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	log := cliutil.SetupLogger("experiments", &logCfg)
 	var check cliutil.Check
 	check.NonNegative("-watchdog", *watchdog)
 	check.AtLeastU("-trace-sample", *traceSample, 1)
@@ -83,12 +87,17 @@ func main() {
 		}
 	}
 
-	tel := buildTelemetry(*metricsOut, *watchdog, *progress, *traceDir, *traceSample)
+	what := strings.ToLower(flag.Arg(0))
+	// One correlation ID per invocation on every record, mirroring the
+	// daemon's per-job IDs: interleaved JSON logs from a batch of runs
+	// separate cleanly by corr_id.
+	log = log.With("corr_id", fmt.Sprintf("experiments-%s-%d-%d", what, os.Getpid(), *seed))
+
+	tel := buildTelemetry(*metricsOut, *watchdog, *progress, *traceDir, *traceSample, log)
 	if tel != nil && tel.Registry != nil {
 		tel.Registry.SetSeed(*seed)
 	}
 
-	what := strings.ToLower(flag.Arg(0))
 	run(what, sc, withNN, *csvDir, tel, *quantMinAgree)
 
 	if tel != nil && tel.Registry != nil && *metricsOut != "" {
@@ -96,7 +105,7 @@ func main() {
 	}
 	if tel != nil && tel.Registry != nil {
 		for _, a := range tel.Registry.Alerts() {
-			fmt.Fprintln(os.Stderr, "watchdog: "+a)
+			log.Warn("watchdog alert", "alert", a)
 		}
 	}
 }
@@ -104,7 +113,7 @@ func main() {
 // buildTelemetry assembles the sweep telemetry from the observability flags,
 // or returns nil when none are set.
 func buildTelemetry(metricsOut string, watchdog int64, progress bool,
-	traceDir string, traceSample uint64) *experiments.Telemetry {
+	traceDir string, traceSample uint64, log *slog.Logger) *experiments.Telemetry {
 	if metricsOut == "" && watchdog == 0 && !progress && traceDir == "" {
 		return nil
 	}
@@ -120,7 +129,7 @@ func buildTelemetry(metricsOut string, watchdog int64, progress bool,
 	}
 	if progress {
 		tel.Progress = func(done, total int, label string) {
-			fmt.Fprintf(os.Stderr, "progress: %d/%d %s\n", done, total, label)
+			log.Info("progress", "done", done, "total", total, "cell", label)
 		}
 	}
 	if traceDir != "" {
@@ -142,7 +151,7 @@ func buildTelemetry(metricsOut string, watchdog int64, progress bool,
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(os.Stderr, "trace: %s (%d events)\n", name, tr.Len())
+			log.Info("trace written", "file", name, "events", tr.Len())
 		}
 	}
 	return tel

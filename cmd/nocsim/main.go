@@ -55,9 +55,13 @@ func main() {
 	traceCSV := flag.String("trace-csv", "",
 		"write the trace as compact CSV to this file (implies -trace)")
 	traceSample := flag.Uint64("trace-sample", 1, "trace only every Nth message (1 = all)")
+	var logCfg cliutil.LogConfig
+	cliutil.AddLogFlags(flag.CommandLine, &logCfg)
 	profCfg := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
 
+	log := cliutil.SetupLogger("nocsim", &logCfg)
+	log = log.With("corr_id", fmt.Sprintf("nocsim-%d-%d", os.Getpid(), *seed))
 	profStop, profErr := prof.Start(*profCfg)
 	if profErr != nil {
 		cliutil.Fatal("nocsim", "%v", profErr)
@@ -135,7 +139,7 @@ func main() {
 				MaxHeadAge:     *watchdog,
 				LivelockWindow: *watchdog,
 				OnAlert: func(a obs.Alert) {
-					fmt.Fprintln(os.Stderr, "watchdog: "+a.String())
+					log.Warn("watchdog alert", "kind", string(a.Kind), "alert", a.String())
 				},
 			}
 		}

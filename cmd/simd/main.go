@@ -17,7 +17,8 @@
 //	POST /jobs/{id}/cancel  cancel a queued or running job
 //	GET  /healthz           liveness
 //	GET  /readyz            readiness (drain / queue / watchdog state)
-//	GET  /metrics           text counters and latency histograms
+//	GET  /metrics           Prometheus/OpenMetrics exposition
+//	GET  /dashboard         self-contained live HTML dashboard
 //
 // The first SIGINT/SIGTERM drains gracefully (running jobs finish, queued
 // jobs are cancelled, new submissions get 503); a second signal cancels
@@ -46,6 +47,7 @@ import (
 	"mlnoc/internal/cliutil"
 	"mlnoc/internal/obs"
 	"mlnoc/internal/serve"
+	"mlnoc/internal/telemetry"
 )
 
 func main() {
@@ -57,8 +59,11 @@ func main() {
 	watchdog := flag.Int64("watchdog", 0,
 		"attach a watchdog to every job's cells: flag head messages older than N cycles and N-cycle zero-delivery windows (0 = off)")
 	smoke := flag.Bool("smoke", false, "run the self-contained smoke check and exit")
+	var logCfg cliutil.LogConfig
+	cliutil.AddLogFlags(flag.CommandLine, &logCfg)
 	flag.Parse()
 
+	log := cliutil.SetupLogger("simd", &logCfg)
 	var check cliutil.Check
 	check.NonNegative("-workers", int64(*workers))
 	check.Positive("-queue", int64(*queueDepth))
@@ -77,6 +82,8 @@ func main() {
 		QueueDepth:   *queueDepth,
 		CacheEntries: *cacheEntries,
 		CacheDir:     *cacheDir,
+		Logger:       log,
+		Registry:     telemetry.Default,
 	}
 	if *watchdog > 0 {
 		cfg.Watchdog = &obs.WatchdogConfig{
@@ -100,23 +107,23 @@ func main() {
 			cliutil.Fatal("simd", "serve: %v", err)
 		}
 	}()
-	fmt.Printf("simd: listening on %s (workers=%d, queue=%d)\n",
-		ln.Addr(), cfg.Workers, cfg.QueueDepth)
+	log.Info("listening", "addr", ln.Addr().String(),
+		"workers", cfg.Workers, "queue", cfg.QueueDepth)
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	<-sigs
-	fmt.Println("simd: draining (running jobs finish; signal again to cancel them)")
+	log.Info("draining: running jobs finish, signal again to cancel them")
 	go func() {
 		<-sigs
-		fmt.Println("simd: cancelling running jobs")
+		log.Warn("cancelling running jobs")
 		srv.Kill()
 	}()
 	srv.Drain()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	_ = httpSrv.Shutdown(ctx)
-	fmt.Println("simd: drained")
+	log.Info("drained")
 }
 
 // smokeSpec is a deliberately tiny deterministic sweep: every workload in the
@@ -191,9 +198,39 @@ func runSmoke(srv *serve.Server) int {
 	fmt.Printf("smoke: cache hit verified, %d-byte payload byte-identical\n", len(second))
 
 	code, metrics := httpGet(base + "/metrics")
-	if code != http.StatusOK || !bytes.Contains(metrics, []byte("cache_hits 1")) {
-		return fail("/metrics missing cache_hits 1:\n%s", metrics)
+	if code != http.StatusOK {
+		return fail("/metrics: code %d", code)
 	}
+	// The exposition must lint against the strict parser and cover every
+	// subsystem: jobs, HTTP routes, pool, cache, watchdog.
+	if err := telemetry.Lint(string(metrics)); err != nil {
+		return fail("/metrics is not valid exposition text: %v\n%s", err, metrics)
+	}
+	for _, want := range []string{
+		"mlnoc_jobs_submitted_total 2",
+		`mlnoc_jobs_finished_total{state="done",type="sweep"} 2`,
+		"mlnoc_cache_hits_total 1",
+		"mlnoc_cache_misses_total 1",
+		"mlnoc_cache_evictions_total 0",
+		"mlnoc_cache_spills_total 0",
+		"mlnoc_pool_workers",
+		"mlnoc_queue_depth 0",
+		"mlnoc_draining 0",
+		`mlnoc_job_latency_seconds_count{type="sweep"} 1`,
+		`mlnoc_http_request_duration_seconds_count{route="submit"} 2`,
+		`mlnoc_watchdog_alerts_total{kind="starvation"} 0`,
+	} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			return fail("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	fmt.Println("smoke: /metrics lints and covers jobs, http, pool, cache, watchdog")
+
+	code, dash := httpGet(base + "/dashboard")
+	if code != http.StatusOK || !bytes.Contains(dash, []byte("<!DOCTYPE html>")) {
+		return fail("/dashboard: code %d, want 200 with HTML", code)
+	}
+	fmt.Printf("smoke: /dashboard served (%d bytes)\n", len(dash))
 	fmt.Println("smoke: PASS")
 	return 0
 }

@@ -27,6 +27,7 @@ import (
 	"mlnoc/internal/noc"
 	"mlnoc/internal/prof"
 	"mlnoc/internal/rl"
+	"mlnoc/internal/telemetry"
 	"mlnoc/internal/trace"
 	"mlnoc/internal/traffic"
 	"mlnoc/internal/viz"
@@ -66,12 +67,20 @@ func main() {
 		"after training, compile the frozen net to the INT8 engine and report action agreement, Q-value error and latency deltas")
 	quantMinAgree := flag.Float64("quant-min-agree", 0,
 		"with -quant-eval: exit nonzero when INT8/float action agreement falls below this fraction (0 = report only)")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve /metrics and /debug/pprof on this address for the lifetime of the run (e.g. :9100)")
+	var logCfg cliutil.LogConfig
+	cliutil.AddLogFlags(flag.CommandLine, &logCfg)
 	profCfg := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
 		cliutil.Fatal("trainarb", format, args...)
 	}
+	log := cliutil.SetupLogger("trainarb", &logCfg)
+	// One correlation ID per invocation, on every record: a multi-run sweep's
+	// interleaved JSON logs separate cleanly by corr_id.
+	log = log.With("corr_id", fmt.Sprintf("trainarb-%d-%d", os.Getpid(), *seed))
 	profStop, err := prof.Start(*profCfg)
 	if err != nil {
 		fail("%v", err)
@@ -143,12 +152,26 @@ func main() {
 	}
 	cfg.Telemetry = buildTelemetry(*telemetryOut, *heatmapEvery, cfg.Epochs,
 		*traceOn || *traceOut != "", *traceSample, fail)
-	fmt.Printf("training %dx%d mesh agent: %d cycles, reward=%s\n",
-		*size, *size, *cycles, kind)
-	tr := core.TrainMesh(cfg)
-	for i, v := range tr.Curve {
-		fmt.Printf("  epoch %2d: avg latency %.2f\n", i+1, v)
+	// Epoch progress goes through slog live (not printed after the fact), so
+	// -log-format json turns a long run into machine-parseable progress.
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = &core.TrainTelemetry{BatchEvery: 10}
 	}
+	cfg.Telemetry.OnEpoch = func(epoch int, avg float64) {
+		log.Info("epoch complete", "epoch", epoch, "epochs", cfg.Epochs,
+			"avg_latency", fmt.Sprintf("%.2f", avg))
+	}
+	if *metricsAddr != "" {
+		_, stop, err := startMetricsSidecar(*metricsAddr, telemetry.Default, log)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer stop()
+		newTrainMetrics(telemetry.Default).install(cfg.Telemetry)
+	}
+	log.Info("training mesh agent", "size", fmt.Sprintf("%dx%d", *size, *size),
+		"cycles", *cycles, "reward", *reward)
+	tr := core.TrainMesh(cfg)
 	fmt.Printf("decisions=%d explored=%.4f replay=%d steps=%d\n",
 		tr.Agent.Decisions(), tr.Agent.ExplorationFraction(),
 		tr.Agent.DQL.Replay.Len(), tr.Agent.DQL.Steps())

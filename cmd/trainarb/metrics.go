@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"mlnoc/internal/core"
+	"mlnoc/internal/telemetry"
+)
+
+// trainMetrics owns the mlnoc_train_* series a long run exports on the
+// -metrics-addr sidecar. All handles are resolved at registration; the
+// training-loop hooks are then pure atomic stores, preserving the
+// telemetry-is-passive contract (the run is bit-identical with or without a
+// scraper attached).
+type trainMetrics struct {
+	loss         *telemetry.Gauge
+	epsilon      *telemetry.Gauge
+	replayFill   *telemetry.Gauge
+	steps        *telemetry.Gauge
+	targetSyncs  *telemetry.Counter
+	epoch        *telemetry.Gauge
+	epochLatency *telemetry.Gauge
+}
+
+func newTrainMetrics(reg *telemetry.Registry) *trainMetrics {
+	return &trainMetrics{
+		loss:         reg.Gauge("mlnoc_train_loss", "mean squared TD error of the last recorded batch").With(),
+		epsilon:      reg.Gauge("mlnoc_train_epsilon", "exploration rate at the last recorded batch").With(),
+		replayFill:   reg.Gauge("mlnoc_train_replay_fill", "replay-memory occupancy fraction in [0,1]").With(),
+		steps:        reg.Gauge("mlnoc_train_steps", "SGD steps taken so far").With(),
+		targetSyncs:  reg.Counter("mlnoc_train_target_syncs", "target-network refreshes from the online network").With(),
+		epoch:        reg.Gauge("mlnoc_train_epoch", "last completed training epoch (1-based)").With(),
+		epochLatency: reg.Gauge("mlnoc_train_epoch_latency_cycles", "average delivered-message latency of the last epoch").With(),
+	}
+}
+
+// install wires the metrics into a TrainTelemetry's live hooks, chaining any
+// hooks already present (the slog epoch reporter).
+func (m *trainMetrics) install(tel *core.TrainTelemetry) {
+	prevBatch, prevSync, prevEpoch := tel.OnBatch, tel.OnSync, tel.OnEpoch
+	tel.OnBatch = func(step int64, loss, fill, eps float64) {
+		m.steps.SetInt(step)
+		m.loss.Set(loss)
+		m.replayFill.Set(fill)
+		m.epsilon.Set(eps)
+		if prevBatch != nil {
+			prevBatch(step, loss, fill, eps)
+		}
+	}
+	tel.OnSync = func(step int64) {
+		m.targetSyncs.Inc()
+		if prevSync != nil {
+			prevSync(step)
+		}
+	}
+	tel.OnEpoch = func(epoch int, avg float64) {
+		m.epoch.SetInt(int64(epoch))
+		m.epochLatency.Set(avg)
+		if prevEpoch != nil {
+			prevEpoch(epoch, avg)
+		}
+	}
+}
+
+// startMetricsSidecar serves /metrics and /debug/pprof on addr in the
+// background for the lifetime of the run. It returns the bound address (so
+// ":0" is usable in tests) and a shutdown func.
+func startMetricsSidecar(addr string, reg *telemetry.Registry, log *slog.Logger) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != http.ErrServerClosed {
+			log.Error("metrics sidecar stopped", "err", err)
+		}
+	}()
+	log.Info("metrics sidecar listening", "addr", ln.Addr().String())
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,163 @@
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync"
+)
+
+// LogConfig carries the two logging flags every binary exposes. Register it
+// with AddLogFlags, validate with Validate, then build the process logger
+// with Logger.
+type LogConfig struct {
+	Format string // "text" (human, default) or "json" (machine-parseable)
+	Level  string // "debug", "info", "warn", "error"
+}
+
+// AddLogFlags registers -log-format and -log-level on fs.
+func AddLogFlags(fs *flag.FlagSet, cfg *LogConfig) {
+	fs.StringVar(&cfg.Format, "log-format", "text", "log output format: text or json")
+	fs.StringVar(&cfg.Level, "log-level", "info", "minimum log level: debug, info, warn, error")
+}
+
+// Validate records flag violations on c.
+func (cfg *LogConfig) Validate(c *Check) {
+	c.OneOf("-log-format", cfg.Format, "text", "json")
+	c.OneOf("-log-level", cfg.Level, "debug", "info", "warn", "error")
+}
+
+// Logger builds a *slog.Logger writing to w per the config. Text mode uses a
+// minimal single-line handler (no timestamps, so run output stays diffable);
+// json mode is slog's standard JSON handler with full timestamps.
+func (cfg *LogConfig) Logger(w io.Writer) *slog.Logger {
+	level := ParseLevel(cfg.Level)
+	if cfg.Format == "json" {
+		return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+	}
+	return slog.New(NewPlainHandler(w, level))
+}
+
+// ParseLevel maps the flag vocabulary onto slog levels; unknown strings fall
+// back to info (Validate has already rejected them by then).
+func ParseLevel(s string) slog.Level {
+	switch s {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// PlainHandler is a minimal slog.Handler for human eyes: one line per
+// record, "msg k=v k=v", with a level prefix for anything that is not plain
+// info. No timestamps — CLI output stays stable across runs and readable in
+// CI logs.
+type PlainHandler struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	level slog.Level
+	attrs []slog.Attr
+	group string
+}
+
+// NewPlainHandler returns a PlainHandler writing records at or above level
+// to w.
+func NewPlainHandler(w io.Writer, level slog.Level) *PlainHandler {
+	return &PlainHandler{mu: &sync.Mutex{}, w: w, level: level}
+}
+
+// Enabled reports whether records at l are emitted.
+func (h *PlainHandler) Enabled(_ context.Context, l slog.Level) bool {
+	return l >= h.level
+}
+
+// Handle renders one record.
+func (h *PlainHandler) Handle(_ context.Context, rec slog.Record) error {
+	var b strings.Builder
+	switch {
+	case rec.Level >= slog.LevelError:
+		b.WriteString("error: ")
+	case rec.Level >= slog.LevelWarn:
+		b.WriteString("warn: ")
+	case rec.Level < slog.LevelInfo:
+		b.WriteString("debug: ")
+	}
+	b.WriteString(rec.Message)
+	for _, a := range h.attrs {
+		writeAttr(&b, h.group, a)
+	}
+	rec.Attrs(func(a slog.Attr) bool {
+		writeAttr(&b, h.group, a)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+// WithAttrs returns a handler that prepends attrs to every record.
+func (h *PlainHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	nh.attrs = append(append([]slog.Attr{}, h.attrs...), attrs...)
+	return &nh
+}
+
+// WithGroup returns a handler that prefixes attribute keys with name.
+func (h *PlainHandler) WithGroup(name string) slog.Handler {
+	nh := *h
+	if nh.group != "" {
+		nh.group += "."
+	}
+	nh.group += name
+	return &nh
+}
+
+// writeAttr renders " key=value", quoting values that contain spaces or
+// quotes, flattening groups with dotted keys.
+func writeAttr(b *strings.Builder, prefix string, a slog.Attr) {
+	key := a.Key
+	if prefix != "" {
+		key = prefix + "." + key
+	}
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		for _, ga := range v.Group() {
+			writeAttr(b, key, ga)
+		}
+		return
+	}
+	b.WriteByte(' ')
+	b.WriteString(key)
+	b.WriteByte('=')
+	s := v.String()
+	if strings.ContainsAny(s, " \"=\n") {
+		s = fmt.Sprintf("%q", s)
+	}
+	b.WriteString(s)
+}
+
+// Discard returns a logger that drops everything — the default for library
+// code (internal/serve) when the caller wired no logger.
+func Discard() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}
+
+// SetupLogger is the one-call path for a cmd main: validate the config,
+// exit(2) on bad flags, and return the stderr logger.
+func SetupLogger(prog string, cfg *LogConfig) *slog.Logger {
+	var c Check
+	cfg.Validate(&c)
+	c.Exit(prog)
+	return cfg.Logger(os.Stderr)
+}

@@ -1,0 +1,95 @@
+package cliutil
+
+import (
+	"encoding/json"
+	"flag"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestAddLogFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	var cfg LogConfig
+	AddLogFlags(fs, &cfg)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Format != "text" || cfg.Level != "info" {
+		t.Fatalf("defaults = %+v, want text/info", cfg)
+	}
+	var c Check
+	cfg.Validate(&c)
+	if c.Err() != nil {
+		t.Fatalf("defaults rejected: %v", c.Err())
+	}
+}
+
+func TestLogConfigValidateRejects(t *testing.T) {
+	for _, cfg := range []LogConfig{
+		{Format: "xml", Level: "info"},
+		{Format: "text", Level: "loud"},
+	} {
+		var c Check
+		cfg.Validate(&c)
+		if c.Err() == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestPlainHandlerLines(t *testing.T) {
+	var b strings.Builder
+	log := slog.New(NewPlainHandler(&b, slog.LevelDebug))
+	log.Info("job submitted", "id", "job-1", "type", "sweep")
+	log.Warn("queue saturated", "depth", 64)
+	log.Error("job failed", "err", "boom boom")
+	log.Debug("detail")
+	log = log.With("corr_id", "abc")
+	log.Info("with context")
+	got := b.String()
+	for _, want := range []string{
+		"job submitted id=job-1 type=sweep\n",
+		"warn: queue saturated depth=64\n",
+		`error: job failed err="boom boom"` + "\n",
+		"debug: detail\n",
+		"with context corr_id=abc\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestPlainHandlerLevelFilter(t *testing.T) {
+	var b strings.Builder
+	log := slog.New(NewPlainHandler(&b, slog.LevelWarn))
+	log.Info("quiet")
+	log.Warn("loud")
+	if strings.Contains(b.String(), "quiet") || !strings.Contains(b.String(), "loud") {
+		t.Fatalf("level filter wrong: %q", b.String())
+	}
+}
+
+func TestJSONLoggerParses(t *testing.T) {
+	var b strings.Builder
+	cfg := LogConfig{Format: "json", Level: "info"}
+	log := cfg.Logger(&b)
+	log.Info("run started", "epochs", 8, "corr_id", "run-42")
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(b.String())), &doc); err != nil {
+		t.Fatalf("json log line does not parse: %v\n%s", err, b.String())
+	}
+	if doc["msg"] != "run started" || doc["corr_id"] != "run-42" {
+		t.Fatalf("json fields wrong: %v", doc)
+	}
+}
+
+func TestDiscardDropsEverything(t *testing.T) {
+	// Must not panic and must not be enabled at any sane level.
+	log := Discard()
+	log.Error("nothing")
+	if log.Enabled(nil, slog.LevelError) {
+		t.Fatal("Discard logger is enabled at error level")
+	}
+}

@@ -23,6 +23,15 @@ type TrainTelemetry struct {
 	// epoch number.
 	HeatmapEvery int
 	HeatmapSink  func(epoch int, hm *Heatmap)
+	// OnBatch/OnSync, when non-nil, are installed on the training trace
+	// (TrainingTrace.OnPoint/OnSync): live per-point and per-target-sync
+	// export, called from inside the training loop.
+	OnBatch func(step int64, loss, replayFill, epsilon float64)
+	OnSync  func(step int64)
+	// OnEpoch, when non-nil, is called after each epoch with its 1-based
+	// number and the epoch's average delivered-message latency — the same
+	// value appended to TrainResult.Curve.
+	OnEpoch func(epoch int, avgLatency float64)
 }
 
 // MeshTrainConfig parameterizes a Section 3.2-style training run: a W x H
@@ -160,7 +169,8 @@ func TrainMesh(cfg MeshTrainConfig) *TrainResult {
 	res := &TrainResult{Agent: agent, Spec: spec}
 	tel := cfg.Telemetry
 	if tel != nil {
-		agent.DQL.Trace = &rl.TrainingTrace{Every: tel.BatchEvery}
+		agent.DQL.Trace = &rl.TrainingTrace{Every: tel.BatchEvery,
+			OnPoint: tel.OnBatch, OnSync: tel.OnSync}
 		res.TrainTrace = agent.DQL.Trace
 		if tel.Trace != nil {
 			res.Tracer = trace.Attach(net, *tel.Trace)
@@ -172,7 +182,11 @@ func TrainMesh(cfg MeshTrainConfig) *TrainResult {
 			in.Tick()
 			net.Step()
 		}
-		res.Curve = append(res.Curve, net.Stats().Latency.Mean())
+		avg := net.Stats().Latency.Mean()
+		res.Curve = append(res.Curve, avg)
+		if tel != nil && tel.OnEpoch != nil {
+			tel.OnEpoch(e+1, avg)
+		}
 		if tel != nil && tel.HeatmapEvery > 0 && tel.HeatmapSink != nil && (e+1)%tel.HeatmapEvery == 0 {
 			tel.HeatmapSink(e+1, NewHeatmap(spec, agent.Net()))
 		}

@@ -25,6 +25,14 @@ type TrainingTrace struct {
 	// refreshed from the online network.
 	SyncSteps []int64
 
+	// OnPoint, when non-nil, is called for every recorded point with the
+	// values just appended — the live export hook (trainarb feeds its
+	// /metrics gauges from it). Like the trace itself it is passive: called
+	// after the batch is fully folded, never influencing the learner.
+	OnPoint func(step int64, loss, replayFill, epsilon float64)
+	// OnSync, when non-nil, is called at every target-network refresh.
+	OnSync func(step int64)
+
 	batches int64
 	eps     float64
 }
@@ -37,6 +45,9 @@ func (t *TrainingTrace) ObserveEpsilon(eps float64) { t.eps = eps }
 // observeSync records a target-network refresh at the given step count.
 func (t *TrainingTrace) observeSync(step int64) {
 	t.SyncSteps = append(t.SyncSteps, step)
+	if t.OnSync != nil {
+		t.OnSync(step)
+	}
 }
 
 // observeBatch folds one TrainBatch outcome into the trace.
@@ -51,8 +62,12 @@ func (t *TrainingTrace) observeBatch(d *DQL, loss float64) {
 	}
 	t.Steps = append(t.Steps, d.Steps())
 	t.Loss = append(t.Loss, loss)
-	t.ReplayFill = append(t.ReplayFill, float64(d.Replay.Len())/float64(d.Replay.Cap()))
+	fill := float64(d.Replay.Len()) / float64(d.Replay.Cap())
+	t.ReplayFill = append(t.ReplayFill, fill)
 	t.Epsilon = append(t.Epsilon, t.eps)
+	if t.OnPoint != nil {
+		t.OnPoint(d.Steps(), loss, fill, t.eps)
+	}
 }
 
 // Points returns the number of recorded curve points.

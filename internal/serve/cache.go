@@ -18,13 +18,15 @@ import (
 // entry evicted from memory is then still served from disk, and a restarted
 // daemon warms up from the artifacts of its previous life.
 type cache struct {
-	mu      sync.Mutex
-	max     int
-	dir     string
-	entries map[string]*list.Element
-	order   *list.List // front = most recently used
-	hits    int64
-	misses  int64
+	mu        sync.Mutex
+	max       int
+	dir       string
+	entries   map[string]*list.Element
+	order     *list.List // front = most recently used
+	hits      int64
+	misses    int64
+	evictions int64
+	spills    int64
 }
 
 type cacheEntry struct {
@@ -78,7 +80,11 @@ func (c *cache) Put(hash string, payload []byte) {
 	c.putLocked(hash, payload)
 	c.mu.Unlock()
 	if c.dir != "" {
-		_ = os.WriteFile(c.spillPath(hash), payload, 0o644)
+		if os.WriteFile(c.spillPath(hash), payload, 0o644) == nil {
+			c.mu.Lock()
+			c.spills++
+			c.mu.Unlock()
+		}
 	}
 }
 
@@ -94,6 +100,7 @@ func (c *cache) putLocked(hash string, payload []byte) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).hash)
+		c.evictions++
 	}
 }
 
@@ -102,6 +109,15 @@ func (c *cache) Stats() (hits, misses int64, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, len(c.entries)
+}
+
+// Counters returns every cumulative counter — the /metrics bridge. Evictions
+// count in-memory LRU removals (a disk spill of the same entry may still
+// serve it later); spills count successful write-throughs to the spill dir.
+func (c *cache) Counters() (hits, misses, evictions, spills int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.spills
 }
 
 func (c *cache) spillPath(hash string) string {

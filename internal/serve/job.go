@@ -47,10 +47,15 @@ type Event struct {
 // methods; the zero value is not usable — Server mints jobs.
 type Job struct {
 	// ID is the per-daemon submission ID ("j000001"); Hash is the canonical
-	// content hash shared by every submission of the same work.
-	ID   string
-	Hash string
-	Spec *Spec
+	// content hash shared by every submission of the same work. CorrID is the
+	// correlation ID threaded from HTTP submission through pool execution,
+	// watchdog alerts and SSE events — client-supplied (X-Correlation-ID) or
+	// minted as "<id>-<hash prefix>". It identifies the submission, not the
+	// work, so it never enters the spec hash or the cached result payload.
+	ID     string
+	Hash   string
+	CorrID string
+	Spec   *Spec
 
 	mu        sync.Mutex
 	state     State
@@ -110,6 +115,7 @@ func (j *Job) Alerts() []string {
 // StatusDoc is the JSON body of GET /jobs/{id}.
 type StatusDoc struct {
 	ID       string    `json:"id"`
+	CorrID   string    `json:"corr_id,omitempty"`
 	Hash     string    `json:"hash"`
 	Type     string    `json:"type"`
 	State    State     `json:"state"`
@@ -132,6 +138,7 @@ func (j *Job) Status() StatusDoc {
 func (j *Job) statusLocked() StatusDoc {
 	doc := StatusDoc{
 		ID:      j.ID,
+		CorrID:  j.CorrID,
 		Hash:    j.Hash,
 		Type:    j.Spec.Type,
 		State:   j.state,

@@ -1,128 +1,70 @@
 package serve
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-	"sync"
 	"time"
 
-	"mlnoc/internal/stats"
+	"mlnoc/internal/obs"
+	"mlnoc/internal/telemetry"
 )
 
-// metrics aggregates the daemon's counters and latency histograms for the
-// text /metrics endpoint. Job latency is histogrammed per job type and HTTP
-// latency per route, both in milliseconds via internal/stats (20ms bins up
-// to ~20s for jobs, 1ms bins up to 1s for handlers; quantiles interpolate
-// into the overflow region toward the exact max, so slow outliers are still
-// reported faithfully).
+// metrics is the daemon's bridge onto the process telemetry registry. Every
+// handle is resolved once at construction, so the hot paths (job finish,
+// HTTP latency) are single atomic operations; point-in-time values (queue
+// depth, busy workers, cache counters) are registered as callback families
+// in Server.New, so a scrape always reads live state without the server
+// pushing gauge updates.
+//
+// Job latency is histogrammed per job type from 20ms to ~20s and HTTP
+// latency per route from 1ms to ~1s, both in seconds per Prometheus
+// convention.
 type metrics struct {
-	mu        sync.Mutex
-	submitted int64
-	done      int64
-	failed    int64
-	cancelled int64
-	jobLat    map[string]*stats.Histogram
-	httpLat   map[string]*stats.Histogram
+	reg       *telemetry.Registry
+	submitted *telemetry.Counter
+	finished  *telemetry.CounterVec   // labels: state, type
+	jobLat    *telemetry.HistogramVec // label: type
+	httpLat   *telemetry.HistogramVec // label: route
+	alerts    *telemetry.CounterVec   // label: kind
 }
 
-func newMetrics() *metrics {
-	return &metrics{
-		jobLat:  make(map[string]*stats.Histogram),
-		httpLat: make(map[string]*stats.Histogram),
+func newMetrics(reg *telemetry.Registry) *metrics {
+	m := &metrics{
+		reg:       reg,
+		submitted: reg.Counter("mlnoc_jobs_submitted", "job submissions accepted for processing").With(),
+		finished:  reg.Counter("mlnoc_jobs_finished", "terminal job transitions by state and job type", "state", "type"),
+		jobLat: reg.Histogram("mlnoc_job_latency_seconds", "job execution latency by job type",
+			telemetry.ExponentialBuckets(0.02, 2, 11), "type"),
+		httpLat: reg.Histogram("mlnoc_http_request_duration_seconds", "HTTP handler latency by route",
+			telemetry.ExponentialBuckets(0.001, 2, 11), "route"),
+		alerts: reg.Counter("mlnoc_watchdog_alerts", "watchdog alerts raised by running jobs, by classification", "kind"),
 	}
+	// Pre-touch every alert class so the family renders all series at zero
+	// from the first scrape — dashboards and alert rules can rely on the
+	// series existing before the first starvation happens.
+	for _, kind := range []obs.AlertKind{obs.AlertStarvation, obs.AlertLivelock, obs.AlertFaultBlackhole} {
+		m.alerts.With(string(kind)).Add(0)
+	}
+	return m
 }
 
-func (m *metrics) jobSubmitted() {
-	m.mu.Lock()
-	m.submitted++
-	m.mu.Unlock()
-}
+func (m *metrics) jobSubmitted() { m.submitted.Inc() }
 
 // jobFinished records a terminal transition and, for done jobs, the
 // execution latency under the job's type.
 func (m *metrics) jobFinished(jobType string, st State, elapsed time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	switch st {
-	case StateDone:
-		m.done++
-		// Cache hits finish with zero elapsed time; recording them would
-		// fold instant answers into the simulation-latency histogram.
-		if elapsed > 0 {
-			h := m.jobLat[jobType]
-			if h == nil {
-				h = stats.NewHistogram(20, 1024) // 20ms bins
-				m.jobLat[jobType] = h
-			}
-			h.Add(float64(elapsed.Milliseconds()))
-		}
-	case StateFailed:
-		m.failed++
-	case StateCancelled:
-		m.cancelled++
+	m.finished.With(string(st), jobType).Inc()
+	// Cache hits finish with zero elapsed time; recording them would fold
+	// instant answers into the simulation-latency histogram.
+	if st == StateDone && elapsed > 0 {
+		m.jobLat.With(jobType).Observe(elapsed.Seconds())
 	}
 }
 
 // httpObserved records one handler invocation's latency under its route.
 func (m *metrics) httpObserved(route string, elapsed time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	h := m.httpLat[route]
-	if h == nil {
-		h = stats.NewHistogram(1, 1024) // 1ms bins
-		m.httpLat[route] = h
-	}
-	h.Add(float64(elapsed.Milliseconds()))
+	m.httpLat.With(route).Observe(elapsed.Seconds())
 }
 
-// gauges are the point-in-time values the server folds into a render.
-type gauges struct {
-	queued      int
-	running     int
-	workers     int
-	cacheHits   int64
-	cacheMisses int64
-	cacheSize   int
-	draining    bool
-}
-
-// render emits the metrics document: one "key value" per line, histograms as
-// "key summary...", keys sorted within each block so scrapes are diffable.
-func (m *metrics) render(g gauges) string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var b strings.Builder
-	draining := 0
-	if g.draining {
-		draining = 1
-	}
-	fmt.Fprintf(&b, "jobs_submitted %d\n", m.submitted)
-	fmt.Fprintf(&b, "jobs_queued %d\n", g.queued)
-	fmt.Fprintf(&b, "jobs_running %d\n", g.running)
-	fmt.Fprintf(&b, "jobs_done %d\n", m.done)
-	fmt.Fprintf(&b, "jobs_failed %d\n", m.failed)
-	fmt.Fprintf(&b, "jobs_cancelled %d\n", m.cancelled)
-	fmt.Fprintf(&b, "cache_hits %d\n", g.cacheHits)
-	fmt.Fprintf(&b, "cache_misses %d\n", g.cacheMisses)
-	fmt.Fprintf(&b, "cache_entries %d\n", g.cacheSize)
-	fmt.Fprintf(&b, "workers %d\n", g.workers)
-	fmt.Fprintf(&b, "workers_busy %d\n", g.running)
-	fmt.Fprintf(&b, "draining %d\n", draining)
-	for _, key := range sortedKeys(m.jobLat) {
-		fmt.Fprintf(&b, "job_latency_ms{type=%s} %s\n", key, m.jobLat[key].Summary())
-	}
-	for _, key := range sortedKeys(m.httpLat) {
-		fmt.Fprintf(&b, "http_latency_ms{route=%s} %s\n", key, m.httpLat[key].Summary())
-	}
-	return b.String()
-}
-
-func sortedKeys(m map[string]*stats.Histogram) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
+// watchdogAlert counts one alert under its classification.
+func (m *metrics) watchdogAlert(kind obs.AlertKind) {
+	m.alerts.With(string(kind)).Inc()
 }

@@ -13,6 +13,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"mlnoc/internal/telemetry"
 )
 
 const specQuant = `{"type":"quant"}`
@@ -420,12 +422,73 @@ func TestMetricsRender(t *testing.T) {
 
 	body := get(h, "/metrics").Body.String()
 	for _, want := range []string{
-		"jobs_submitted 2", "jobs_done 2", "cache_hits 1", "cache_misses 1",
-		"workers 1", "draining 0", "job_latency_ms{type=quant}",
+		"mlnoc_jobs_submitted_total 2",
+		`mlnoc_jobs_finished_total{state="done",type="quant"} 2`,
+		"mlnoc_cache_hits_total 1", "mlnoc_cache_misses_total 1",
+		"mlnoc_cache_evictions_total 0", "mlnoc_cache_spills_total 0",
+		"mlnoc_pool_workers 1", "mlnoc_draining 0",
+		`mlnoc_job_latency_seconds_count{type="quant"} 1`,
+		`mlnoc_http_request_duration_seconds_count{route="submit"} 2`,
+		`mlnoc_watchdog_alerts_total{kind="starvation"} 0`,
+		`mlnoc_watchdog_alerts_total{kind="livelock"} 0`,
+		`mlnoc_watchdog_alerts_total{kind="fault-blackhole"} 0`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, body)
 		}
+	}
+	// The document must be valid exposition text per the strict parser.
+	if err := telemetry.Lint(body); err != nil {
+		t.Errorf("/metrics does not lint: %v", err)
+	}
+}
+
+// TestDashboardServed pins that the dashboard is a self-contained HTML
+// document referencing the live endpoints it polls.
+func TestDashboardServed(t *testing.T) {
+	var runs atomic.Int64
+	s := New(Config{Workers: 1, Runner: countingRunner(&runs)})
+	defer s.Drain()
+	rec := get(s.Handler(), "/dashboard")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /dashboard = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("dashboard Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"<!DOCTYPE html>", "mlnoc_queue_depth", "EventSource"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+}
+
+// TestCorrelationID pins the corr-id thread: header in, status doc out, and
+// a minted default when the client sends none.
+func TestCorrelationID(t *testing.T) {
+	var runs atomic.Int64
+	s := New(Config{Workers: 1, Runner: countingRunner(&runs)})
+	defer s.Drain()
+	h := s.Handler()
+
+	req := httptest.NewRequest("POST", "/jobs", strings.NewReader(specQuant))
+	req.Header.Set("X-Correlation-ID", "trace-abc123")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var doc StatusDoc
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.CorrID != "trace-abc123" {
+		t.Fatalf("corr_id = %q, want header value", doc.CorrID)
+	}
+	waitState(t, s.lookup(doc.ID), StateDone)
+
+	// No header: one is minted from the job ID and hash prefix.
+	_, doc2 := postJob(t, h, specQuant)
+	if doc2.CorrID == "" || !strings.HasPrefix(doc2.CorrID, doc2.ID+"-") {
+		t.Fatalf("minted corr_id = %q, want %s-<hash>", doc2.CorrID, doc2.ID)
 	}
 }
 

@@ -5,14 +5,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"mlnoc/internal/cliutil"
 	"mlnoc/internal/experiments"
 	"mlnoc/internal/obs"
+	"mlnoc/internal/telemetry"
 )
 
 // Config parameterizes a Server. The zero value is usable: every field has a
@@ -33,6 +36,14 @@ type Config struct {
 	Watchdog *obs.WatchdogConfig
 	// Runner overrides the job executor (tests). Nil means Execute.
 	Runner runFunc
+	// Logger receives the daemon's structured log stream (submissions, job
+	// transitions, watchdog alerts), each record carrying the job's
+	// correlation ID. Nil discards.
+	Logger *slog.Logger
+	// Registry receives the daemon's metrics. Nil means a private registry
+	// (tests); simd passes telemetry.Default so sidecar registrations share
+	// the exposition.
+	Registry *telemetry.Registry
 }
 
 // Server is the simulation-as-a-service daemon core: the job registry, the
@@ -44,6 +55,7 @@ type Server struct {
 	pool     *pool
 	cache    *cache
 	met      *metrics
+	log      *slog.Logger
 	draining atomic.Bool
 
 	mu     sync.Mutex
@@ -63,13 +75,21 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 128
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = cliutil.Discard()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
 	s := &Server{
 		cfg:   cfg,
 		q:     newQueue(cfg.QueueDepth),
 		cache: newCache(cfg.CacheEntries, cfg.CacheDir),
-		met:   newMetrics(),
+		met:   newMetrics(cfg.Registry),
+		log:   cfg.Logger,
 		jobs:  make(map[string]*Job),
 	}
+	s.registerLiveMetrics(cfg.Registry)
 	run := cfg.Runner
 	if run == nil {
 		run = s.runJob
@@ -87,9 +107,43 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// registerLiveMetrics binds the daemon's point-in-time signals as callback
+// families: a scrape reads the queue, pool and cache directly instead of
+// relying on pushed gauge updates that could go stale.
+func (s *Server) registerLiveMetrics(reg *telemetry.Registry) {
+	reg.GaugeFunc("mlnoc_queue_depth", "jobs queued but not yet claimed by a worker",
+		func() float64 { return float64(s.q.Len()) })
+	reg.GaugeFunc("mlnoc_pool_busy", "workers executing a job right now",
+		func() float64 { return float64(s.pool.Busy()) })
+	reg.GaugeFunc("mlnoc_pool_workers", "configured worker-pool size",
+		func() float64 { return float64(s.cfg.Workers) })
+	reg.GaugeFunc("mlnoc_draining", "1 while graceful shutdown is in progress",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("mlnoc_cache_entries", "result-cache entries resident in memory",
+		func() float64 { _, _, n := s.cache.Stats(); return float64(n) })
+	reg.CounterFunc("mlnoc_cache_hits", "result-cache hits (memory or spill dir)",
+		func() uint64 { h, _, _, _ := s.cache.Counters(); return uint64(h) })
+	reg.CounterFunc("mlnoc_cache_misses", "result-cache misses",
+		func() uint64 { _, m, _, _ := s.cache.Counters(); return uint64(m) })
+	reg.CounterFunc("mlnoc_cache_evictions", "result-cache in-memory LRU evictions",
+		func() uint64 { _, _, e, _ := s.cache.Counters(); return uint64(e) })
+	reg.CounterFunc("mlnoc_cache_spills", "result payloads written through to the spill directory",
+		func() uint64 { _, _, _, sp := s.cache.Counters(); return uint64(sp) })
+}
+
+// Registry returns the registry the daemon reports into (the /metrics
+// document source).
+func (s *Server) Registry() *telemetry.Registry { return s.cfg.Registry }
+
 // runJob is the production runFunc: it wires the job's live telemetry
 // (progress, obs snapshots, watchdog alerts) and executes the spec.
 func (s *Server) runJob(ctx context.Context, job *Job) ([]byte, error) {
+	s.log.Info("job started", "corr_id", job.CorrID, "id", job.ID, "type", job.Spec.Type)
 	tel := &experiments.Telemetry{
 		Progress: func(done, total int, label string) {
 			job.setProgress(done, total, label)
@@ -116,6 +170,9 @@ func (s *Server) runJob(ctx context.Context, job *Job) ([]byte, error) {
 			if prev != nil {
 				prev(a)
 			}
+			s.met.watchdogAlert(a.Kind)
+			s.log.Warn("watchdog alert", "corr_id", job.CorrID, "id", job.ID,
+				"kind", string(a.Kind), "alert", a.String())
 			job.addAlert(a.String())
 		}
 		tel.Watchdog = &wd
@@ -136,9 +193,18 @@ type snapshotSummary struct {
 	Alerts     int     `json:"alerts,omitempty"`
 }
 
-// jobDone is the pool's completion hook: it records terminal metrics.
+// jobDone is the pool's completion hook: it records terminal metrics and the
+// correlated completion log line.
 func (s *Server) jobDone(job *Job) {
-	s.met.jobFinished(job.Spec.Type, job.State(), job.elapsed())
+	st := job.State()
+	elapsed := job.elapsed()
+	s.met.jobFinished(job.Spec.Type, st, elapsed)
+	rec := s.log.Info
+	if st == StateFailed {
+		rec = s.log.Error
+	}
+	rec("job finished", "corr_id", job.CorrID, "id", job.ID, "type", job.Spec.Type,
+		"state", string(st), "elapsed", elapsed.Round(time.Millisecond).String())
 }
 
 // elapsed is the job's execution time (zero until it finished).
@@ -181,12 +247,18 @@ func (s *Server) finalizeQueued(jobs []*Job) {
 // Draining reports whether shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// register mints an ID and adds the job to the registry.
-func (s *Server) register(spec *Spec, now time.Time) *Job {
+// register mints an ID and adds the job to the registry. An empty corrID is
+// defaulted to "<id>-<hash prefix>", so every job is correlatable even when
+// the client sent no X-Correlation-ID.
+func (s *Server) register(spec *Spec, corrID string, now time.Time) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
 	job := newJob(fmt.Sprintf("j%06d", s.nextID), spec, now)
+	if corrID == "" {
+		corrID = job.ID + "-" + job.Hash[:8]
+	}
+	job.CorrID = corrID
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	return job
@@ -214,6 +286,11 @@ func (s *Server) snapshotJobs() []*Job {
 // caller): cache lookup, then enqueue. The error is non-nil only when the
 // daemon cannot accept the job (draining or queue full).
 func (s *Server) Submit(spec *Spec) (*Job, error) {
+	return s.SubmitCorr(spec, "")
+}
+
+// SubmitCorr is Submit with a caller-supplied correlation ID ("" mints one).
+func (s *Server) SubmitCorr(spec *Spec, corrID string) (*Job, error) {
 	if s.draining.Load() {
 		return nil, errDraining
 	}
@@ -221,17 +298,21 @@ func (s *Server) Submit(spec *Spec) (*Job, error) {
 	s.met.jobSubmitted()
 	hash := spec.Hash()
 	if payload, ok := s.cache.Get(hash); ok {
-		job := s.register(spec, now)
+		job := s.register(spec, corrID, now)
 		job.completeCached(payload, now)
 		s.met.jobFinished(spec.Type, StateDone, 0)
+		s.log.Info("job served from cache", "corr_id", job.CorrID, "id", job.ID,
+			"type", spec.Type, "hash", hash)
 		return job, nil
 	}
-	job := s.register(spec, now)
+	job := s.register(spec, corrID, now)
 	if !s.q.Push(job) {
 		job.finish(StateFailed, nil, "queue full", now)
 		s.met.jobFinished(spec.Type, StateFailed, 0)
+		s.log.Warn("job rejected, queue full", "corr_id", job.CorrID, "id", job.ID, "type", spec.Type)
 		return nil, errQueueFull
 	}
+	s.log.Info("job queued", "corr_id", job.CorrID, "id", job.ID, "type", spec.Type, "hash", hash)
 	return job, nil
 }
 
@@ -252,6 +333,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.route("readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /dashboard", s.route("dashboard", s.handleDashboard))
 	return mux
 }
 
@@ -285,7 +367,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	job, err := s.Submit(spec)
+	job, err := s.SubmitCorr(spec, r.Header.Get("X-Correlation-ID"))
 	switch {
 	case err != nil:
 		writeError(w, http.StatusServiceUnavailable, err.Error())
@@ -421,18 +503,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// handleMetrics serves the telemetry registry's exposition document. The
+// callback families registered in New read queue/pool/cache state at render
+// time, so no gauge refresh happens here.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	hits, misses, entries := s.cache.Stats()
-	g := gauges{
-		queued:      s.q.Len(),
-		running:     s.pool.Busy(),
-		workers:     s.cfg.Workers,
-		cacheHits:   hits,
-		cacheMisses: misses,
-		cacheSize:   entries,
-		draining:    s.draining.Load(),
-	}
-	w.Header().Set("Content-Type", "text/plain")
+	w.Header().Set("Content-Type", telemetry.ContentType)
 	w.WriteHeader(http.StatusOK)
-	io.WriteString(w, s.met.render(g))
+	_ = s.cfg.Registry.Render(w)
 }
