@@ -34,18 +34,19 @@ verify: fmt vet build test race
 # (any alloc growth from a zero-alloc baseline fails outright); CI runs it
 # non-gating.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_8.json -benchtime 2s
+	$(GO) run ./cmd/bench -out BENCH_9.json -benchtime 2s
 
 bench-diff:
-	$(GO) run ./cmd/bench -diff BENCH_8.json
+	$(GO) run ./cmd/bench -diff BENCH_9.json
 
 # Race-check the sharded stepping engine specifically: the shard-invariance
-# suites in internal/noc and internal/fault drive the two-phase engine at
-# K in {2,4,8} on mesh and torus, healthy and faulted, so any cross-shard
-# data race in phase 1 surfaces here. Split from `race` so CI can gate on it
-# by name.
+# and active-set-invariance suites in internal/noc and internal/fault drive
+# the two-phase engine at K in {2,4,8} on mesh and torus, healthy and faulted,
+# with active-set stepping both on and off, so any cross-shard data race in
+# phase 1 or in the activity-bitmap maintenance surfaces here. Split from
+# `race` so CI can gate on it by name.
 race-shard:
-	$(GO) test -race -run 'ShardInvariance|TorusConservation|TorusFaultConservation' ./internal/noc/ ./internal/fault/
+	$(GO) test -race -run 'ShardInvariance|TorusConservation|TorusFaultConservation|ActiveSet' ./internal/noc/ ./internal/fault/
 
 # Full benchmark sweep across every package (slow; not snapshot-tracked).
 bench-paper:

@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"testing"
+
+	"mlnoc/internal/noc"
+)
+
+// TestActiveSetInvarianceDegraded pins the active-set stepping engine against
+// the full-scan engine through the deepest fault stack in the repo: table
+// routing degrades to up*/down* after mid-run link kills, messages carry
+// RouteBits phase state, outages repair, and a router freezes. TableRouting
+// is shard-safe, so the active path runs lazy unreachable eviction — any
+// divergence in probe coverage or eviction order shows up as a trace or stats
+// mismatch. Checked sequentially and with the two-phase fork engaged.
+func TestActiveSetInvarianceDegraded(t *testing.T) {
+	topologies := map[string]func() (*noc.Network, []*noc.Node){
+		"mesh":  func() (*noc.Network, []*noc.Node) { return mesh(4, 4, 2) },
+		"torus": func() (*noc.Network, []*noc.Node) { return torus(4, 4, 2) },
+	}
+	for tname, build := range topologies {
+		t.Run(tname, func(t *testing.T) {
+			run := func(shards int, fullScan bool) (*noc.Network, []string, Stats) {
+				net, cores := build()
+				var plan Plan
+				plan.KillLink(net.RouterAt(1, 1).ID(), noc.PortEast, 100)
+				plan.KillLink(net.RouterAt(2, 2).ID(), noc.PortSouth, 100)
+				plan.Outage(net.RouterAt(0, 1).ID(), noc.PortEast, 150, 400)
+				plan.FreezeRouter(net.RouterAt(3, 0).ID(), 200, 350)
+				inj, err := (Spec{Plan: plan}).Equip(net)
+				if err != nil {
+					t.Fatalf("Equip: %v", err)
+				}
+				net.SetActiveStepping(!fullScan)
+				net.SetShards(shards)
+				net.SetShardMinActive(0)
+				defer net.SetShards(1)
+				trace := traceDeliveries(cores)
+				drive(net, cores, 31, 800)
+				return net, *trace, inj.Stats()
+			}
+			baseNet, baseTrace, baseStats := run(1, true)
+			if baseStats.Reroutes == 0 || baseStats.Requeued == 0 {
+				t.Fatalf("fault scenario is vacuous: %+v", baseStats)
+			}
+			if len(baseTrace) == 0 {
+				t.Fatal("no deliveries recorded")
+			}
+			for _, k := range []int{1, 2, 4} {
+				net, trace, stats := run(k, false)
+				if len(trace) != len(baseTrace) {
+					t.Fatalf("K=%d delivery counts diverge: %d vs %d", k, len(trace), len(baseTrace))
+				}
+				for i := range baseTrace {
+					if trace[i] != baseTrace[i] {
+						t.Fatalf("K=%d delivery %d diverges: %q vs %q", k, i, trace[i], baseTrace[i])
+					}
+				}
+				if stats != baseStats {
+					t.Fatalf("K=%d fault stats diverge: %+v vs %+v", k, stats, baseStats)
+				}
+				if net.Stats().Injected != baseNet.Stats().Injected ||
+					net.Stats().Latency.Mean() != baseNet.Stats().Latency.Mean() {
+					t.Fatalf("K=%d network stats diverge", k)
+				}
+			}
+		})
+	}
+}

@@ -41,6 +41,9 @@ func TestShardInvarianceDegraded(t *testing.T) {
 					t.Fatalf("Equip: %v", err)
 				}
 				net.SetShards(shards)
+				// Zero the activity threshold so the two-phase fork runs
+				// every cycle even at this test's light load.
+				net.SetShardMinActive(0)
 				defer net.SetShards(1)
 				trace := traceDeliveries(cores)
 				drive(net, cores, 31, 800)

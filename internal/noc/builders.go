@@ -36,3 +36,11 @@ func BuildMesh16x16() (*Network, []*Node) {
 func BuildMesh32x32() (*Network, []*Node) {
 	return BuildMeshCores(Config{Width: 32, Height: 32, VCs: 3, BufferCap: 8})
 }
+
+// BuildMesh64x64 creates the 64x64 large-mesh scenario (4096 routers, 4096
+// cores) — the sparse-activity regime the active-set stepping engine targets:
+// at low injection rates the per-cycle cost tracks the in-flight population,
+// not the topology size.
+func BuildMesh64x64() (*Network, []*Node) {
+	return BuildMeshCores(Config{Width: 64, Height: 64, VCs: 3, BufferCap: 8})
+}

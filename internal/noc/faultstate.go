@@ -60,6 +60,9 @@ func (n *Network) SetLinkDown(rid int, p PortID, down bool) int {
 	}
 	r.linkDown[p] = down
 	n.faulty = true
+	// A link transition (either direction) can change the routing verdict of
+	// any buffered head anywhere in the network.
+	n.markAllEvictDirty()
 	if !down {
 		n.fstats.LinksDown--
 		return 0
@@ -78,6 +81,10 @@ func (n *Network) FreezeRouter(rid int, frozen bool) {
 	}
 	r.frozen = frozen
 	n.faulty = true
+	// Frozen routers are skipped by the eviction sweep without clearing their
+	// dirty bit, so marks accumulated while frozen survive to the unfreeze;
+	// mark here as well so the transition itself forces a re-probe.
+	n.markEvictDirty(r)
 	if frozen {
 		n.fstats.FrozenRouters++
 	} else {

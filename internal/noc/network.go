@@ -151,12 +151,34 @@ type Network struct {
 	// MaxPorts*VCs <= 64); arbitration then visits only non-empty buffers.
 	occTrack bool
 
+	// Active-set stepping (see activeset.go). actR bit r is set iff router r
+	// has occ != 0; actN bit i is set iff node i has a pending injection;
+	// evictDirty bit r is set iff router r's buffer heads need re-probing for
+	// unreachable verdicts. fullScan forces the original full-scan engine
+	// (SetActiveStepping); the bitmaps stay maintained either way.
+	actR       []uint64
+	actN       []uint64
+	evictDirty []uint64
+	actRCount  int
+	fullScan   bool
+	evictMode  uint8
+
+	// shardMinActive is the per-shard activity threshold below which a
+	// sharded cycle skips the fork/join and runs the sequential active-set
+	// path instead; shardForks counts the cycles that did fork (white-box
+	// test hook).
+	shardMinActive int
+	shardForks     int64
+
 	// routeMemo caches the X-Y output port per (router, destination node),
 	// indexed router.id*len(nodes)+dst. X-Y routing is a pure function of
 	// that pair, so buffered messages never need their route recomputed.
 	// Only consulted while no Routing is installed; rebuilt when the node
-	// count changes.
-	routeMemo []PortID
+	// count changes. On big topologies the table outgrows the cache and a
+	// lookup costs more than the X-Y arithmetic it memoizes — routeDirect
+	// then bypasses it (see routeMemoMaxEntries).
+	routeMemo   []PortID
+	routeDirect bool
 
 	// outHeads accumulates per-output candidate lists during the fused
 	// single-scan arbitration; candArena backs matcher Request slices.
@@ -186,16 +208,23 @@ func New(cfg Config) *Network {
 		panic("noc: torus dimensions must be at least 3x3")
 	}
 	n := &Network{
-		cfg:         cfg,
-		wheel:       make([][]delivery, cfg.MaxFlits+2),
-		busyRelease: make([]int, cfg.MaxFlits+2),
-		occTrack:    MaxPorts*cfg.VCs <= 64,
+		cfg:            cfg,
+		wheel:          make([][]delivery, cfg.MaxFlits+2),
+		busyRelease:    make([]int, cfg.MaxFlits+2),
+		occTrack:       MaxPorts*cfg.VCs <= 64,
+		shardMinActive: DefaultShardMinActive,
 	}
 	n.routers = make([]*Router, cfg.Width*cfg.Height)
+	words := (len(n.routers) + 63) / 64
+	n.actR = make([]uint64, words)
+	n.evictDirty = make([]uint64, words)
 	for y := 0; y < cfg.Height; y++ {
 		for x := 0; x < cfg.Width; x++ {
 			id := y*cfg.Width + x
-			r := &Router{id: id, Coord: Coord{X: x, Y: y}, net: n}
+			r := &Router{
+				id: id, Coord: Coord{X: x, Y: y}, net: n,
+				actWord: id >> 6, actMask: 1 << (uint(id) & 63),
+			}
 			for p := range r.inGrantedAt {
 				r.inGrantedAt[p] = -1
 			}
@@ -266,6 +295,9 @@ func (n *Network) AttachNode(x, y int, port PortID, kind DstType, label string) 
 	n.allocPortBuffers(r, port)
 	n.nodes = append(n.nodes, node)
 	n.inflightBySrc = append(n.inflightBySrc, 0)
+	if want := (len(n.nodes) + 63) / 64; len(n.actN) < want {
+		n.actN = append(n.actN, 0)
+	}
 	return node
 }
 
@@ -289,6 +321,9 @@ func (n *Network) SetRouting(rt Routing) {
 	if rt != nil {
 		n.faulty = true
 	}
+	n.refreshEvictMode()
+	// The new routing may reach different verdicts on every buffered head.
+	n.markAllEvictDirty()
 }
 
 // Routing returns the installed routing algorithm, or nil when the built-in
@@ -401,10 +436,21 @@ func (n *Network) recycleMessage(m *Message) {
 // every real PortID and from RouteUnreachable.
 const routeMemoUnset PortID = -2
 
+// routeMemoMaxEntries caps the X-Y route memo: past this size (512 KiB of
+// PortIDs — a 16x16 cores-on-every-router mesh) the table no longer fits the
+// cache, and a random-access lookup costs more than the few compares of
+// DirToward it memoizes. Bigger topologies compute X-Y routes directly; the
+// result is the same either way, only the lookup cost changes.
+const routeMemoMaxEntries = 64 * 1024
+
 // ensureRouteMemo sizes the X-Y route memo for the current router and node
 // counts, invalidating it when nodes were attached since the last build.
 func (n *Network) ensureRouteMemo() {
 	want := len(n.routers) * len(n.nodes)
+	if n.routeDirect = want > routeMemoMaxEntries; n.routeDirect {
+		n.routeMemo = nil
+		return
+	}
 	if len(n.routeMemo) == want {
 		return
 	}
@@ -414,10 +460,14 @@ func (n *Network) ensureRouteMemo() {
 	}
 }
 
-// xyRouteMemo returns XYPort(m) at r through the (router, destination) memo.
-// Callers must have called ensureRouteMemo and must only use it while no
-// Routing override is installed.
+// xyRouteMemo returns XYPort(m) at r through the (router, destination) memo,
+// or directly when the topology is past the memo size cap. Callers must have
+// called ensureRouteMemo and must only use it while no Routing override is
+// installed.
 func (n *Network) xyRouteMemo(r *Router, m *Message) PortID {
+	if n.routeDirect {
+		return r.XYPort(m)
+	}
 	idx := r.id*len(n.nodes) + int(m.Dst)
 	if out := n.routeMemo[idx]; out != routeMemoUnset {
 		return out
@@ -535,38 +585,64 @@ func (n *Network) deliver() {
 }
 
 func (n *Network) inject() {
-	for _, node := range n.nodes {
-		if node.injectHead >= len(node.injectQ) {
+	if n.pendingInj == 0 {
+		return // no node holds a queued message; nothing can inject
+	}
+	if n.fullScan {
+		for _, node := range n.nodes {
+			if node.injectHead >= len(node.injectQ) {
+				continue
+			}
+			n.injectFrom(node)
+		}
+		return
+	}
+	// Visit only nodes with a pending injection, in ascending node ID —
+	// the same order the full scan produces. The per-word snapshot is safe:
+	// injectFrom never sets a node-activity bit (it only dequeues), so no
+	// active node can be missed mid-scan.
+	for wi, word := range n.actN {
+		if word == 0 {
 			continue
 		}
-		if n.faulty && node.Router.linkDown[node.Port] {
-			continue // the node's attach link is down; injections wait
+		base := wi << 6
+		for ; word != 0; word &= word - 1 {
+			n.injectFrom(n.nodes[base+bits.TrailingZeros64(word)])
 		}
-		m := node.injectQ[node.injectHead]
-		if int(m.Class) >= n.cfg.VCs {
-			panic(fmt.Sprintf("noc: %s has class %d but network has %d VCs",
-				m, m.Class, n.cfg.VCs))
-		}
-		buf := node.Router.in[node.Port][m.Class]
-		if !buf.Free() {
-			continue
-		}
-		node.dequeue()
+	}
+}
 
-		dst := n.nodes[m.Dst]
-		m.InjectCycle = n.cycle
-		m.Distance = n.Distance(node.Router.Coord, dst.Router.Coord)
-		m.DstKind = dst.Kind
-		m.HopCount = 0
-		buf.push(n.cycle, m)
+// injectFrom moves the head of node's injection queue into its attach buffer
+// if the attach link is up and the buffer has space. The caller guarantees
+// the queue is non-empty.
+func (n *Network) injectFrom(node *Node) {
+	if n.faulty && node.Router.linkDown[node.Port] {
+		return // the node's attach link is down; injections wait
+	}
+	m := node.injectQ[node.injectHead]
+	if int(m.Class) >= n.cfg.VCs {
+		panic(fmt.Sprintf("noc: %s has class %d but network has %d VCs",
+			m, m.Class, n.cfg.VCs))
+	}
+	buf := node.Router.in[node.Port][m.Class]
+	if !buf.Free() {
+		return
+	}
+	node.dequeue()
 
-		n.stats.Injected++
-		n.inflightCount++
-		n.inflightBase += n.cycle
-		n.inflightBySrc[m.Src]++
-		if len(n.observers) > 0 {
-			n.observeInject(node, m)
-		}
+	dst := n.nodes[m.Dst]
+	m.InjectCycle = n.cycle
+	m.Distance = n.Distance(node.Router.Coord, dst.Router.Coord)
+	m.DstKind = dst.Kind
+	m.HopCount = 0
+	buf.push(n.cycle, m)
+
+	n.stats.Injected++
+	n.inflightCount++
+	n.inflightBase += n.cycle
+	n.inflightBySrc[m.Src]++
+	if len(n.observers) > 0 {
+		n.observeInject(node, m)
 	}
 }
 
@@ -664,17 +740,57 @@ func (n *Network) applyGrant(r *Router, out PortID, c Candidate) {
 }
 
 func (n *Network) arbitrate() {
-	if n.shards > 1 && n.shardReady() {
+	active := n.activeOK()
+	if n.shards > 1 && n.shardReady() &&
+		(!active || n.actRCount >= n.shardMinActive*n.shards) {
 		n.arbitrateSharded()
 		return
 	}
 	if n.matcher != nil {
-		n.arbitrateMatched()
+		n.arbitrateMatched(active)
 		return
 	}
 	fast := n.fusedScanOK()
 	ctx := &n.arbCtx
 	*ctx = ArbContext{Net: n, Cycle: n.cycle}
+	if active {
+		// Visit only routers with buffered messages, ascending router ID —
+		// the order the full scan produces. Per-word snapshots are safe: no
+		// activity bit is ever set during arbitration (deliveries land on
+		// future cycles, grants and evictions only pop), and a mid-word
+		// clear can only come from the router currently being visited.
+		// Under a ShardSafe routing the routed path folds the eviction probe
+		// and the per-output route lookups into one Route call per head.
+		routed := n.evictMode == evictLazy
+		for wi, word := range n.actR {
+			if word == 0 {
+				continue
+			}
+			base := wi << 6
+			for ; word != 0; word &= word - 1 {
+				r := n.routers[base+bits.TrailingZeros64(word)]
+				if n.faulty {
+					if r.frozen {
+						continue
+					}
+					if !routed {
+						n.maybeEvict(r)
+					}
+				}
+				ctx.Router = r
+				switch {
+				case fast:
+					n.arbitrateRouterFused(ctx, r)
+				case routed:
+					n.arbitrateRouterRouted(ctx, r)
+				default:
+					n.arbitrateRouterLegacy(ctx, r)
+				}
+			}
+		}
+		return
+	}
+	// Full-scan reference path: every router, unconditional eviction sweep.
 	for _, r := range n.routers {
 		if n.faulty {
 			if r.frozen {
@@ -810,7 +926,7 @@ func (n *Network) arbitrateRouterFused(ctx *ArbContext, r *Router) {
 	}
 }
 
-func (n *Network) arbitrateMatched() {
+func (n *Network) arbitrateMatched(active bool) {
 	fast := n.fusedScanOK()
 	if cap(n.candArena) < MaxPorts*n.cfg.VCs {
 		// Each head routes to exactly one output, so a router's requests
@@ -820,6 +936,26 @@ func (n *Network) arbitrateMatched() {
 	}
 	mctx := &n.matchCtx
 	*mctx = MatchContext{Net: n, Cycle: n.cycle}
+	if active {
+		// Active-set scan; see arbitrate for the snapshot-safety argument.
+		for wi, word := range n.actR {
+			if word == 0 {
+				continue
+			}
+			base := wi << 6
+			for ; word != 0; word &= word - 1 {
+				r := n.routers[base+bits.TrailingZeros64(word)]
+				if n.faulty {
+					if r.frozen {
+						continue
+					}
+					n.maybeEvict(r)
+				}
+				n.matchRouter(mctx, r, fast)
+			}
+		}
+		return
+	}
 	for _, r := range n.routers {
 		if n.faulty {
 			if r.frozen {
@@ -827,26 +963,32 @@ func (n *Network) arbitrateMatched() {
 			}
 			n.evictUnreachable(r)
 		}
-		arena := n.candArena[:0]
-		reqs := n.reqScratch[:0]
-		if fast {
-			filled := uint32(0)
-			if r.occ != 0 {
-				filled = n.scanHeads(r)
-			}
-			for out := PortID(0); out < MaxPorts; out++ {
-				if filled&(1<<out) == 0 {
-					continue
-				}
-				start := len(arena)
-				arena = append(arena, n.outHeads[out]...)
-				reqs = append(reqs, Request{Out: out, Cands: arena[start:len(arena):len(arena)]})
-			}
-		} else {
-			arena, reqs = n.gatherRequestsLegacy(r, arena, reqs)
-		}
-		n.matchAndApply(mctx, r, reqs)
+		n.matchRouter(mctx, r, fast)
 	}
+}
+
+// matchRouter builds router r's per-output requests (fused single scan or
+// legacy per-output gather) and hands them to the installed matcher.
+func (n *Network) matchRouter(mctx *MatchContext, r *Router, fast bool) {
+	arena := n.candArena[:0]
+	reqs := n.reqScratch[:0]
+	if fast {
+		filled := uint32(0)
+		if r.occ != 0 {
+			filled = n.scanHeads(r)
+		}
+		for out := PortID(0); out < MaxPorts; out++ {
+			if filled&(1<<out) == 0 {
+				continue
+			}
+			start := len(arena)
+			arena = append(arena, n.outHeads[out]...)
+			reqs = append(reqs, Request{Out: out, Cands: arena[start:len(arena):len(arena)]})
+		}
+	} else {
+		arena, reqs = n.gatherRequestsLegacy(r, arena, reqs)
+	}
+	n.matchAndApply(mctx, r, reqs)
 }
 
 // gatherRequestsLegacy builds r's per-output requests with one gather per

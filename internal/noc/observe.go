@@ -6,7 +6,12 @@ package noc
 // concern), observers see every event regardless of the installed policy.
 //
 // Observer methods run inside Network.Step and must not call Step, Run or
-// Drain. They may inspect any exported network state.
+// Drain. They may inspect any exported network state. ObserveInject
+// additionally must not call Node.Inject: it fires mid-way through the
+// inject stage's walk over the node-activity bitmap, and a node activated
+// during that walk may or may not be visited in the same cycle. Node.Sink
+// and OnCycle run after the stages that scan the bitmaps and remain the
+// supported injection points.
 type Observer interface {
 	// ObserveInject runs when a message leaves its node's injection queue and
 	// enters the network at the source router.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mlnoc/internal/arb"
+	"mlnoc/internal/fault"
 	"mlnoc/internal/noc"
 	"mlnoc/internal/traffic"
 )
@@ -97,3 +98,130 @@ func BenchmarkHotLargeMeshStep16x16K1(b *testing.B) { benchLargeMesh(b, 16, 1, 0
 func BenchmarkHotLargeMeshStep16x16K4(b *testing.B) { benchLargeMesh(b, 16, 4, 0.1) }
 func BenchmarkHotLargeMeshStep32x32K1(b *testing.B) { benchLargeMesh(b, 32, 1, 0.05) }
 func BenchmarkHotLargeMeshStep32x32K4(b *testing.B) { benchLargeMesh(b, 32, 4, 0.05) }
+
+// TestSparseStepZeroAllocs pins the zero-alloc contract in the active-set
+// engine's target regime: a big mesh at a sparse injection rate, where almost
+// every router and node is skipped each cycle.
+func TestSparseStepZeroAllocs(t *testing.T) {
+	net, cores := noc.BuildMesh32x32()
+	net.SetPolicy(arb.NewGlobalAge())
+	in := traffic.NewInjector(cores, traffic.UniformRandom{}, 0.005, rand.New(rand.NewSource(17)))
+	in.Classes = 3
+	for i := 0; i < 3000; i++ {
+		in.Tick()
+		net.Step()
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		in.Tick()
+		net.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("sparse steady-state Tick+Step allocates %v objects per cycle, want 0", allocs)
+	}
+}
+
+// benchLargeMeshSparse measures stepping at a sparse injection rate — the
+// active-set engine's target regime, where per-cycle cost should track the
+// in-flight population rather than the topology size. active=false forces the
+// full-scan baseline so the committed snapshot carries both sides of the
+// comparison. The mean active-router count is reported so the sparseness of
+// the regime is visible next to the ns/op.
+func benchLargeMeshSparse(b *testing.B, size, shards int, rate float64, active bool) {
+	net, cores := noc.BuildMeshCores(noc.Config{Width: size, Height: size, VCs: 3, BufferCap: 8})
+	net.SetPolicy(arb.NewGlobalAge())
+	net.SetActiveStepping(active)
+	net.SetShards(shards)
+	defer net.SetShards(1)
+	in := traffic.NewInjector(cores, traffic.UniformRandom{}, rate, rand.New(rand.NewSource(17)))
+	in.Classes = 3
+	// The sparse regime converges slowly: at rate*N^2 injections per cycle
+	// the freelist and per-node queues take thousands of cycles to reach
+	// steady state on the biggest meshes, and until they do Step allocates.
+	warmup := 1500
+	if size >= 64 {
+		warmup = 15000
+	}
+	for i := 0; i < warmup; i++ {
+		in.Tick()
+		net.Step()
+	}
+	before := net.Stats().Delivered
+	var activeSum int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		in.Tick()
+		net.Step()
+		activeSum += int64(net.ActiveRouters())
+	}
+	elapsed := time.Since(start).Seconds()
+	b.StopTimer()
+	if delivered := net.Stats().Delivered - before; elapsed > 0 {
+		b.ReportMetric(float64(delivered)/elapsed/float64(len(cores)), "msgs/s/core")
+	}
+	b.ReportMetric(float64(activeSum)/float64(b.N), "active-routers")
+}
+
+func BenchmarkHotLargeMeshStepSparse16x16(b *testing.B) { benchLargeMeshSparse(b, 16, 1, 0.02, true) }
+func BenchmarkHotLargeMeshStepSparse16x16FullScan(b *testing.B) {
+	benchLargeMeshSparse(b, 16, 1, 0.02, false)
+}
+func BenchmarkHotLargeMeshStepSparse32x32(b *testing.B) { benchLargeMeshSparse(b, 32, 1, 0.005, true) }
+func BenchmarkHotLargeMeshStepSparse32x32K4(b *testing.B) {
+	benchLargeMeshSparse(b, 32, 4, 0.005, true)
+}
+func BenchmarkHotLargeMeshStepSparse32x32FullScan(b *testing.B) {
+	benchLargeMeshSparse(b, 32, 1, 0.005, false)
+}
+func BenchmarkHotLargeMeshStepSparse64x64(b *testing.B) {
+	benchLargeMeshSparse(b, 64, 1, 0.002, true)
+}
+
+// benchLargeMeshSparseFaulted is the degraded-mesh counterpart: two interior
+// links are dead for the whole run and the fault-aware table routing steers
+// around them. This is where the full-scan engine pays its worst O(topology)
+// tax — the per-cycle evictUnreachable sweep probes every router's buffers,
+// and the legacy gather re-routes every head once per candidate output —
+// while the active-set engine visits only occupied routers and its route-once
+// path spends exactly one Route call per buffered head per cycle.
+func benchLargeMeshSparseFaulted(b *testing.B, size, shards int, rate float64, active bool) {
+	net, cores := noc.BuildMeshCores(noc.Config{Width: size, Height: size, VCs: 3, BufferCap: 8})
+	net.SetPolicy(arb.NewGlobalAge())
+	mid := size / 2
+	net.SetLinkDown(net.RouterAt(mid, mid).ID(), noc.PortEast, true)
+	net.SetLinkDown(net.RouterAt(mid, mid+1).ID(), noc.PortSouth, true)
+	net.SetRouting(fault.NewTableRouting(net))
+	net.SetActiveStepping(active)
+	net.SetShards(shards)
+	defer net.SetShards(1)
+	in := traffic.NewInjector(cores, traffic.UniformRandom{}, rate, rand.New(rand.NewSource(17)))
+	in.Classes = 3
+	for i := 0; i < 1500; i++ {
+		in.Tick()
+		net.Step()
+	}
+	before := net.Stats().Delivered
+	var activeSum int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		in.Tick()
+		net.Step()
+		activeSum += int64(net.ActiveRouters())
+	}
+	elapsed := time.Since(start).Seconds()
+	b.StopTimer()
+	if delivered := net.Stats().Delivered - before; elapsed > 0 {
+		b.ReportMetric(float64(delivered)/elapsed/float64(len(cores)), "msgs/s/core")
+	}
+	b.ReportMetric(float64(activeSum)/float64(b.N), "active-routers")
+}
+
+func BenchmarkHotLargeMeshStepSparse32x32Faulted(b *testing.B) {
+	benchLargeMeshSparseFaulted(b, 32, 1, 0.005, true)
+}
+func BenchmarkHotLargeMeshStepSparse32x32FaultedFullScan(b *testing.B) {
+	benchLargeMeshSparseFaulted(b, 32, 1, 0.005, false)
+}

@@ -47,7 +47,13 @@ func (b *Buffer) push(now int64, m *Message) {
 	m.ArrivalCycle = now
 	b.q = append(b.q, m)
 	if b.owner != nil && len(b.q) == 1 {
-		b.owner.occ |= 1 << b.bit
+		r := b.owner
+		if r.occ == 0 {
+			r.net.activateRouter(r)
+		}
+		r.occ |= 1 << b.bit
+		// The push exposed a new head; its unreachable verdict is unknown.
+		r.net.markEvictDirty(r)
 	}
 }
 
@@ -56,8 +62,18 @@ func (b *Buffer) pop() *Message {
 	copy(b.q, b.q[1:])
 	b.q[len(b.q)-1] = nil
 	b.q = b.q[:len(b.q)-1]
-	if b.owner != nil && len(b.q) == 0 {
-		b.owner.occ &^= 1 << b.bit
+	if b.owner != nil {
+		r := b.owner
+		if len(b.q) == 0 {
+			r.occ &^= 1 << b.bit
+			if r.occ == 0 {
+				r.net.deactivateRouter(r)
+			}
+		} else {
+			// The pop exposed the successor as the new head; its unreachable
+			// verdict is unknown.
+			r.net.markEvictDirty(r)
+		}
 	}
 	return m
 }
@@ -69,11 +85,20 @@ func (b *Buffer) syncOcc() {
 	if b.owner == nil {
 		return
 	}
+	r := b.owner
+	was := r.occ
 	if len(b.q) == 0 {
-		b.owner.occ &^= 1 << b.bit
+		r.occ &^= 1 << b.bit
 	} else {
-		b.owner.occ |= 1 << b.bit
+		r.occ |= 1 << b.bit
 	}
+	if was == 0 && r.occ != 0 {
+		r.net.activateRouter(r)
+	} else if was != 0 && r.occ == 0 {
+		r.net.deactivateRouter(r)
+	}
+	// A wholesale queue rewrite may have put any message at the head.
+	r.net.markEvictDirty(r)
 }
 
 // Router is one mesh router. Each port has one input buffer per virtual
@@ -114,6 +139,13 @@ type Router struct {
 	// enables occupancy tracking; arbitration iterates set bits instead of
 	// scanning every (port, VC) pair.
 	occ uint64
+
+	// actWord/actMask locate this router's bit in the network-level activity
+	// and evict-dirty bitmaps (actWord = id/64, actMask = 1<<(id%64)),
+	// precomputed so the occ 0<->nonzero transitions in Buffer push/pop cost
+	// two loads and an OR instead of two shifts.
+	actWord int
+	actMask uint64
 
 	nPorts int // number of connected ports (for stats/diagnostics)
 }

@@ -18,6 +18,13 @@ const RouteUnreachable PortID = -1
 // cycle. Implementations that maintain tables (see internal/fault) rebuild
 // them from fault events, not inside Route.
 //
+// The active-set engine additionally leans on that determinism for routings
+// that declare themselves ShardSafe: because a head's verdict can only change
+// when the fault state changes or a different message reaches the head, the
+// unreachable-eviction sweep re-probes only routers flagged by such a
+// transition (see the evict-dirty tracking in activeset.go) instead of every
+// router every faulty cycle. Opaque routings keep the full per-cycle probe.
+//
 // When no Routing is installed the engine uses built-in dimension-ordered
 // X-Y routing (XYRouting's behaviour) without an interface call.
 type Routing interface {

@@ -147,6 +147,7 @@ func (n *Network) shardReady() bool {
 // arbitrateSharded runs one two-phase arbitration: wake the workers, scan
 // shard 0 on this goroutine, barrier on the workers, then commit serially.
 func (n *Network) arbitrateSharded() {
+	n.shardForks++
 	for _, wake := range n.shardWake {
 		wake <- struct{}{}
 	}
@@ -172,9 +173,37 @@ func (n *Network) arbitrateSharded() {
 func (n *Network) scanShard(shard int) {
 	sc := &n.shardHeads[shard]
 	rt := n.routing
-	vcs := n.cfg.VCs
 	faulty := n.faulty
 	lo, hi := n.shardBounds[shard], n.shardBounds[shard+1]
+	if n.activeOK() {
+		// Scan only the active routers of [lo, hi) by masking the shard's
+		// boundary words of the activity bitmap. Phase 1 never mutates the
+		// bitmap (it pops nothing), so the words are stable under the
+		// concurrent shard scans. Plans of skipped routers go stale, which
+		// is fine: phase 2 iterates the same activity snapshot, so a plan is
+		// only read in the cycle that refreshed it.
+		loWord := lo >> 6
+		hiWord := (hi + 63) >> 6
+		for wi := loWord; wi < hiWord; wi++ {
+			word := n.actR[wi]
+			if wi == loWord {
+				word &^= (1 << (uint(lo) & 63)) - 1
+			}
+			if wi<<6+64 > hi {
+				word &= (1 << (uint(hi) & 63)) - 1
+			}
+			base := wi << 6
+			for ; word != 0; word &= word - 1 {
+				id := base + bits.TrailingZeros64(word)
+				r := n.routers[id]
+				if faulty && r.frozen {
+					continue
+				}
+				n.scanRouter(sc, rt, faulty, true, r, &n.plans[id])
+			}
+		}
+		return
+	}
 	for id := lo; id < hi; id++ {
 		r := n.routers[id]
 		p := &n.plans[id]
@@ -183,58 +212,84 @@ func (n *Network) scanShard(shard int) {
 		if (faulty && r.frozen) || r.occ == 0 {
 			continue
 		}
-		var freeOuts uint32
-		for out := PortID(0); out < MaxPorts; out++ {
-			if r.HasPort(out) && !r.linkDown[out] && !r.OutputBusy(out, n.cycle) {
-				freeOuts |= 1 << out
-			}
-		}
-		if freeOuts == 0 && !faulty {
-			continue
-		}
-		var filled uint32
-		for mask := r.occ; mask != 0; mask &= mask - 1 {
-			bit := bits.TrailingZeros64(mask)
-			pp := PortID(bit / vcs)
-			vc := bit - int(pp)*vcs
-			m := r.in[pp][vc].q[0]
-			var out PortID
-			if rt != nil {
-				out = rt.Route(r, m)
-			} else {
-				out = n.xyRouteMemo(r, m)
-			}
-			if out == RouteUnreachable {
-				// Evicting the head exposes a successor this scan never
-				// routed; replay the router sequentially in phase 2.
-				p.fallback = true
-				filled = 0
-				break
-			}
-			if uint(out) >= MaxPorts || freeOuts&(1<<out) == 0 {
-				continue
-			}
-			if filled&(1<<out) == 0 {
-				filled |= 1 << out
-				sc.outHeads[out] = sc.outHeads[out][:0]
-			}
-			sc.outHeads[out] = append(sc.outHeads[out], Candidate{Port: pp, VC: vc, Msg: m})
-		}
-		if p.fallback || filled == 0 {
-			continue
-		}
-		cands := p.cands[:0]
-		for out := PortID(0); out < MaxPorts; out++ {
-			if filled&(1<<out) == 0 {
-				continue
-			}
-			p.off[out] = uint8(len(cands))
-			p.cnt[out] = uint8(len(sc.outHeads[out]))
-			cands = append(cands, sc.outHeads[out]...)
-		}
-		p.cands = cands
-		p.filled = filled
+		n.scanRouter(sc, rt, faulty, false, r, p)
 	}
+}
+
+// scanRouter builds one router's phase-1 plan: route every buffered head and
+// bucket the grantable ones per output. The caller guarantees r.occ != 0 and
+// !r.frozen.
+func (n *Network) scanRouter(sc *shardScratch, rt Routing, faulty, active bool, r *Router, p *routerPlan) {
+	p.filled = 0
+	p.fallback = false
+	vcs := n.cfg.VCs
+	var freeOuts uint32
+	for out := PortID(0); out < MaxPorts; out++ {
+		if r.HasPort(out) && !r.linkDown[out] && !r.OutputBusy(out, n.cycle) {
+			freeOuts |= 1 << out
+		}
+	}
+	if freeOuts == 0 {
+		if !faulty {
+			return
+		}
+		// Faulty with no free output: heads are routed purely to detect
+		// unreachable verdicts (and to give stateful routings the same Route
+		// coverage as the sequential eviction probe). On the active-set path
+		// the eviction modes prove when that probe cannot find anything:
+		// built-in X-Y never returns unreachable, and under a shard-safe
+		// routing a clean evict-dirty bit means every head's verdict is
+		// already known reachable.
+		if active {
+			if n.evictMode == evictSkip {
+				return
+			}
+			if n.evictMode == evictLazy && n.evictDirty[r.actWord]&r.actMask == 0 {
+				return
+			}
+		}
+	}
+	var filled uint32
+	for mask := r.occ; mask != 0; mask &= mask - 1 {
+		bit := bits.TrailingZeros64(mask)
+		pp := PortID(bit / vcs)
+		vc := bit - int(pp)*vcs
+		m := r.in[pp][vc].q[0]
+		var out PortID
+		if rt != nil {
+			out = rt.Route(r, m)
+		} else {
+			out = n.xyRouteMemo(r, m)
+		}
+		if out == RouteUnreachable {
+			// Evicting the head exposes a successor this scan never
+			// routed; replay the router sequentially in phase 2.
+			p.fallback = true
+			return
+		}
+		if uint(out) >= MaxPorts || freeOuts&(1<<out) == 0 {
+			continue
+		}
+		if filled&(1<<out) == 0 {
+			filled |= 1 << out
+			sc.outHeads[out] = sc.outHeads[out][:0]
+		}
+		sc.outHeads[out] = append(sc.outHeads[out], Candidate{Port: pp, VC: vc, Msg: m})
+	}
+	if filled == 0 {
+		return
+	}
+	cands := p.cands[:0]
+	for out := PortID(0); out < MaxPorts; out++ {
+		if filled&(1<<out) == 0 {
+			continue
+		}
+		p.off[out] = uint8(len(cands))
+		p.cnt[out] = uint8(len(sc.outHeads[out]))
+		cands = append(cands, sc.outHeads[out]...)
+	}
+	p.cands = cands
+	p.filled = filled
 }
 
 // commitPlans is phase 2 for per-output selection policies: walk routers in
@@ -244,47 +299,86 @@ func (n *Network) scanShard(shard int) {
 func (n *Network) commitPlans() {
 	ctx := &n.arbCtx
 	*ctx = ArbContext{Net: n, Cycle: n.cycle}
+	if n.activeOK() {
+		// Walk the same activity snapshot phase 1 scanned (phase 1 pops
+		// nothing, so the bitmap is unchanged); within phase 2 only the
+		// router currently committing can clear its own bit, so per-word
+		// snapshots stay exact.
+		lazy := n.faulty && n.evictMode == evictLazy
+		for wi, word := range n.actR {
+			if word == 0 {
+				continue
+			}
+			base := wi << 6
+			for ; word != 0; word &= word - 1 {
+				id := base + bits.TrailingZeros64(word)
+				r := n.routers[id]
+				if n.faulty && r.frozen {
+					continue
+				}
+				n.commitRouter(ctx, r, &n.plans[id], lazy)
+			}
+		}
+		return
+	}
 	for id, r := range n.routers {
 		if n.faulty && r.frozen {
 			continue
 		}
-		p := &n.plans[id]
-		if p.fallback {
-			n.evictUnreachable(r)
-			ctx.Router = r
-			n.arbitrateRouterLegacy(ctx, r)
-			continue
-		}
-		if p.filled == 0 {
-			continue
+		n.commitRouter(ctx, r, &n.plans[id], false)
+	}
+}
+
+// commitRouter applies one router's phase-1 plan: fallback routers replay the
+// sequential evict + arbitrate sequence; planned routers re-check the two
+// live facts (input port already granted, downstream space) per group and
+// select/grant exactly as the sequential engine does. With lazy set the
+// router's evict-dirty bit is cleared after its eviction coverage is current
+// (phase 1 routed every head or a fallback eviction just re-probed them) and
+// before any grant pops can re-mark it — the same evict, clear, grant order
+// the sequential maybeEvict path produces.
+func (n *Network) commitRouter(ctx *ArbContext, r *Router, p *routerPlan, lazy bool) {
+	if p.fallback {
+		n.evictUnreachable(r)
+		if lazy {
+			n.evictDirty[r.actWord] &^= r.actMask
 		}
 		ctx.Router = r
-		for out := PortID(0); out < MaxPorts; out++ {
-			if p.filled&(1<<out) == 0 {
-				continue
-			}
-			group := p.cands[p.off[out] : int(p.off[out])+int(p.cnt[out])]
-			var down []*Buffer
-			if next := r.peerRouter[out]; next != nil {
-				down = next.in[out.Opposite()]
-			}
-			cands := n.candScratch[:0]
-			for _, c := range group {
-				if r.inGrantedAt[c.Port] == n.cycle {
-					continue
-				}
-				if down != nil && !down[c.VC].Free() {
-					continue
-				}
-				cands = append(cands, c)
-			}
-			n.candScratch = cands
-			if len(cands) == 0 {
-				continue
-			}
-			ctx.Out = out
-			n.selectAndGrant(ctx, r, out, cands)
+		n.arbitrateRouterLegacy(ctx, r)
+		return
+	}
+	if lazy {
+		n.evictDirty[r.actWord] &^= r.actMask
+	}
+	if p.filled == 0 {
+		return
+	}
+	ctx.Router = r
+	for out := PortID(0); out < MaxPorts; out++ {
+		if p.filled&(1<<out) == 0 {
+			continue
 		}
+		group := p.cands[p.off[out] : int(p.off[out])+int(p.cnt[out])]
+		var down []*Buffer
+		if next := r.peerRouter[out]; next != nil {
+			down = next.in[out.Opposite()]
+		}
+		cands := n.candScratch[:0]
+		for _, c := range group {
+			if r.inGrantedAt[c.Port] == n.cycle {
+				continue
+			}
+			if down != nil && !down[c.VC].Free() {
+				continue
+			}
+			cands = append(cands, c)
+		}
+		n.candScratch = cands
+		if len(cands) == 0 {
+			continue
+		}
+		ctx.Out = out
+		n.selectAndGrant(ctx, r, out, cands)
 	}
 }
 
@@ -298,40 +392,70 @@ func (n *Network) commitPlansMatched() {
 	}
 	mctx := &n.matchCtx
 	*mctx = MatchContext{Net: n, Cycle: n.cycle}
+	if n.activeOK() {
+		// Same activity-snapshot walk as commitPlans.
+		lazy := n.faulty && n.evictMode == evictLazy
+		for wi, word := range n.actR {
+			if word == 0 {
+				continue
+			}
+			base := wi << 6
+			for ; word != 0; word &= word - 1 {
+				id := base + bits.TrailingZeros64(word)
+				r := n.routers[id]
+				if n.faulty && r.frozen {
+					continue
+				}
+				n.commitRouterMatched(mctx, r, &n.plans[id], lazy)
+			}
+		}
+		return
+	}
 	for id, r := range n.routers {
 		if n.faulty && r.frozen {
 			continue
 		}
-		p := &n.plans[id]
-		if p.fallback {
-			n.evictUnreachable(r)
-			_, reqs := n.gatherRequestsLegacy(r, n.candArena[:0], n.reqScratch[:0])
-			n.matchAndApply(mctx, r, reqs)
+		n.commitRouterMatched(mctx, r, &n.plans[id], false)
+	}
+}
+
+// commitRouterMatched is commitRouter's counterpart for whole-router matchers;
+// see commitRouter for the lazy dirty-clear ordering.
+func (n *Network) commitRouterMatched(mctx *MatchContext, r *Router, p *routerPlan, lazy bool) {
+	if p.fallback {
+		n.evictUnreachable(r)
+		if lazy {
+			n.evictDirty[r.actWord] &^= r.actMask
+		}
+		_, reqs := n.gatherRequestsLegacy(r, n.candArena[:0], n.reqScratch[:0])
+		n.matchAndApply(mctx, r, reqs)
+		return
+	}
+	if lazy {
+		n.evictDirty[r.actWord] &^= r.actMask
+	}
+	arena := n.candArena[:0]
+	reqs := n.reqScratch[:0]
+	for out := PortID(0); p.filled != 0 && out < MaxPorts; out++ {
+		if p.filled&(1<<out) == 0 {
 			continue
 		}
-		arena := n.candArena[:0]
-		reqs := n.reqScratch[:0]
-		for out := PortID(0); p.filled != 0 && out < MaxPorts; out++ {
-			if p.filled&(1<<out) == 0 {
-				continue
-			}
-			group := p.cands[p.off[out] : int(p.off[out])+int(p.cnt[out])]
-			var down []*Buffer
-			if next := r.peerRouter[out]; next != nil {
-				down = next.in[out.Opposite()]
-			}
-			start := len(arena)
-			for _, c := range group {
-				if down != nil && !down[c.VC].Free() {
-					continue
-				}
-				arena = append(arena, c)
-			}
-			if len(arena) == start {
-				continue
-			}
-			reqs = append(reqs, Request{Out: out, Cands: arena[start:len(arena):len(arena)]})
+		group := p.cands[p.off[out] : int(p.off[out])+int(p.cnt[out])]
+		var down []*Buffer
+		if next := r.peerRouter[out]; next != nil {
+			down = next.in[out.Opposite()]
 		}
-		n.matchAndApply(mctx, r, reqs)
+		start := len(arena)
+		for _, c := range group {
+			if down != nil && !down[c.VC].Free() {
+				continue
+			}
+			arena = append(arena, c)
+		}
+		if len(arena) == start {
+			continue
+		}
+		reqs = append(reqs, Request{Out: out, Cands: arena[start:len(arena):len(arena)]})
 	}
+	n.matchAndApply(mctx, r, reqs)
 }

@@ -25,9 +25,13 @@ func (c cutRouting) Route(r *Router, m *Message) PortID {
 
 // shardRun drives a seeded workload on a fresh network and returns the
 // delivery log. faults, when non-nil, runs before every Step with the cycle
-// number so fault schedules stay aligned across shard counts.
+// number so fault schedules stay aligned across shard counts. The activity
+// threshold is zeroed so sharded runs exercise the fork/join every cycle
+// regardless of load; opts run after that for per-test engine configuration
+// (e.g. SetActiveStepping(false) baselines).
 func shardRun(t *testing.T, policy Policy, cfg Config, shards, cycles int,
-	routing Routing, faults func(net *Network, cycle int)) (*Network, []string) {
+	routing Routing, faults func(net *Network, cycle int),
+	opts ...func(net *Network)) (*Network, []string) {
 	t.Helper()
 	net, nodes := BuildMeshCores(cfg)
 	net.SetPolicy(policy)
@@ -35,6 +39,10 @@ func shardRun(t *testing.T, policy Policy, cfg Config, shards, cycles int,
 		net.SetRouting(routing)
 	}
 	net.SetShards(shards)
+	net.SetShardMinActive(0)
+	for _, opt := range opts {
+		opt(net)
+	}
 	if shards > 1 {
 		if got := net.Shards(); got != shards {
 			t.Fatalf("Shards() = %d after SetShards(%d)", got, shards)
@@ -74,6 +82,9 @@ func shardRun(t *testing.T, policy Policy, cfg Config, shards, cycles int,
 		net.Step()
 	}
 	net.Drain(8000)
+	if shards > 1 && net.shardMinActive == 0 && net.shardForks == 0 {
+		t.Fatalf("sharded run with K=%d never forked its phase-1 workers", shards)
+	}
 	net.SetShards(1)
 	return net, log
 }

@@ -126,6 +126,9 @@ func (n *Node) Inject(m *Message) {
 	}
 	m.Src = n.ID
 	m.GenCycle = n.net.cycle
+	if n.injectHead == len(n.injectQ) {
+		n.net.activateNode(n.ID) // empty -> non-empty
+	}
 	n.injectQ = append(n.injectQ, m)
 	n.net.pendingInj++
 }
@@ -148,6 +151,7 @@ func (n *Node) dequeue() {
 	if n.injectHead == len(n.injectQ) {
 		n.injectQ = n.injectQ[:0]
 		n.injectHead = 0
+		n.net.deactivateNode(n.ID) // non-empty -> empty
 		return
 	}
 	if n.injectHead >= 1024 && n.injectHead*2 >= len(n.injectQ) {
